@@ -1,0 +1,57 @@
+"""Ablation: is Figure 5's method ordering robust to cost-model error?
+
+Our DPU instruction costs are calibrated, not measured on hardware (see
+DESIGN.md).  This ablation rescales all softfloat costs by 0.5x and 2x and
+verifies that every ordering the paper's takeaways rest on survives, and
+also reports the idealized-FP comparison (a hypothetical PIM core with a
+single-cycle FPU).
+"""
+
+from repro.analysis.ablation import (
+    EXPECTED_ORDERINGS,
+    cost_sensitivity,
+    idealized_comparison,
+)
+from repro.analysis.report import format_table
+
+
+def test_cost_model_sensitivity(benchmark, write_report):
+    results = benchmark.pedantic(
+        lambda: cost_sensitivity(scales=(0.5, 1.0, 2.0)),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for r in results:
+        for (fast, slow) in EXPECTED_ORDERINGS:
+            rows.append((
+                f"{r['scale']}x", f"{fast} < {slow}",
+                f"{r['cycles'][fast]:.0f} vs {r['cycles'][slow]:.0f}",
+                "holds" if r["orderings"][f"{fast}<{slow}"] else "BROKEN",
+            ))
+    report = ("Ablation: softfloat cost scaling vs method ordering\n"
+              + format_table(["fp-cost scale", "ordering", "cycles", "status"],
+                             rows))
+    print()
+    print(report)
+    write_report("ablation_costmodel.txt", report)
+    for r in results:
+        assert all(r["orderings"].values()), r["scale"]
+
+
+def test_idealized_fp_hardware(benchmark, write_report):
+    res = benchmark.pedantic(idealized_comparison, rounds=1, iterations=1)
+    rows = [
+        (m, f"{res['upmem'][m]:.0f}", f"{res['idealized_fp'][m]:.0f}")
+        for m in res["upmem"]
+    ]
+    report = ("Ablation: UPMEM-like vs idealized single-cycle-FP core "
+              "(cycles/elem, sine @ ~1e-7)\n"
+              + format_table(["method", "upmem", "idealized"], rows))
+    print()
+    print(report)
+    write_report("ablation_idealized.txt", report)
+    # With an FPU, the M-LUT/L-LUT gap collapses: TransPimLib's advantage
+    # is specific to FP-emulating PIM cores.
+    gap_upmem = res["upmem"]["mlut_i"] / res["upmem"]["llut"]
+    gap_ideal = res["idealized_fp"]["mlut_i"] / res["idealized_fp"]["llut"]
+    assert gap_ideal < gap_upmem

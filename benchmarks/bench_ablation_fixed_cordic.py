@@ -1,0 +1,51 @@
+"""Ablation: fully fixed-point CORDIC (extension beyond the paper).
+
+The paper's Figure 5 CORDIC keeps the rotation vector in emulated float32.
+On an FP-less core the vector can live in s1.30 fixed point — shifts and
+adds only.  This ablation quantifies the gap: the fixed rotation reaches the
+same (or better) accuracy at a fraction of the cycles, repositioning CORDIC
+on the Figure 5 tradeoff map.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import default_inputs, sweep_method
+
+
+def _collect():
+    inputs = default_inputs("sin", n=8192)
+    rows = []
+    for method in ("cordic", "cordic_fx"):
+        rows += sweep_method("sin", method, "iterations",
+                             (12, 20, 28), inputs=inputs, sample_size=12)
+    rows += sweep_method("sin", "llut_i", "density_log2", (12,),
+                         inputs=inputs, sample_size=12)
+    return rows
+
+
+def test_fixed_cordic_ablation(benchmark, write_report):
+    points = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("Ablation: float vs fixed-point CORDIC (sine)\n"
+              + format_table(
+                  ["method", "param", "rmse", "cycles/elem"],
+                  [(p.method, p.param, f"{p.rmse:.2e}",
+                    f"{p.cycles_per_element:.0f}") for p in points]))
+    print()
+    print(report)
+    write_report("ablation_fixed_cordic.txt", report)
+
+    by = {(p.method, p.param): p for p in points}
+    for it in ("iterations=12", "iterations=20", "iterations=28"):
+        fl = by[("cordic", it)]
+        fx = by[("cordic_fx", it)]
+        # Same rotation, far fewer cycles, no accuracy loss.
+        assert fx.cycles_per_element < 0.35 * fl.cycles_per_element
+        assert fx.rmse < fl.rmse * 1.5
+
+    # At 28 iterations the fixed CORDIC becomes competitive with the
+    # interpolated L-LUT — a design point the paper's float CORDIC never
+    # reaches.
+    fx28 = by[("cordic_fx", "iterations=28")]
+    llut = by[("llut_i", "density_log2=12")]
+    assert fx28.cycles_per_element < 3 * llut.cycles_per_element

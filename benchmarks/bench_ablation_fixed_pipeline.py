@@ -1,0 +1,54 @@
+"""Ablation: how far can fixed point go?  (Extension beyond the paper.)
+
+The paper's fixed-point Blackscholes swaps the four transcendental lookups
+for fixed-point L-LUTs but keeps float glue arithmetic.  The ``fixed_full``
+variant converts once and runs the whole kernel in s3.28 — quantifying the
+remaining headroom of a fully fixed pipeline on an FP-less PIM core.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.pim.system import PIMSystem
+from repro.workloads.blackscholes import (
+    Blackscholes,
+    generate_options,
+    reference_call_prices,
+)
+
+
+def _run_all():
+    system = PIMSystem()
+    batch = generate_options(3000)
+    ref = reference_call_prices(batch)
+    rows = []
+    for variant in ("llut_i", "llut_i_fx", "fixed_full"):
+        bs = Blackscholes(variant).setup()
+        res = bs.run(batch, system, virtual_n=10_000_000)
+        err = np.abs(bs.prices(batch).astype(np.float64) - ref)
+        rows.append({
+            "variant": variant,
+            "seconds": res.total_seconds,
+            "slots": res.per_dpu.per_element_tally.slots,
+            "max_err": float(err.max()),
+        })
+    return rows
+
+
+def test_fixed_pipeline_headroom(benchmark, write_report):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    report = ("Ablation: Blackscholes fixed-point depth (10M options)\n"
+              + format_table(
+                  ["variant", "time", "slots/option", "max price err ($)"],
+                  [(r["variant"], f"{r['seconds'] * 1e3:.1f} ms",
+                    f"{r['slots']:.0f}", f"{r['max_err']:.2e}")
+                   for r in rows]))
+    print()
+    print(report)
+    write_report("ablation_fixed_pipeline.txt", report)
+
+    t = {r["variant"]: r["seconds"] for r in rows}
+    assert t["llut_i_fx"] < t["llut_i"]
+    assert t["fixed_full"] < t["llut_i_fx"]
+    # Accuracy must not degrade materially: price errors stay sub-cent.
+    assert all(r["max_err"] < 1e-2 for r in rows)

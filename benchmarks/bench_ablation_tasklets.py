@@ -1,0 +1,37 @@
+"""Ablation: tasklet scaling and LUT placement (Observation 4).
+
+Cycles per element as the tasklet count grows: the fine-grained
+multithreaded pipeline saturates at 11 tasklets, and once saturated,
+MRAM-resident LUTs perform like WRAM-resident ones because DMA latency hides
+behind the other tasklets' instructions.
+"""
+
+import pytest
+
+from repro.analysis.ablation import tasklet_scaling
+from repro.analysis.report import format_table
+
+
+def test_tasklet_scaling(benchmark, write_report):
+    rows = benchmark.pedantic(
+        lambda: tasklet_scaling(tasklet_counts=(1, 2, 4, 8, 11, 16, 24)),
+        rounds=1, iterations=1,
+    )
+    report = ("Ablation: interpolated L-LUT cycles/element vs tasklets\n"
+              + format_table(
+                  ["placement", "tasklets", "cycles/elem"],
+                  [(r["placement"], r["tasklets"],
+                    f"{r['cycles_per_element']:.1f}") for r in rows]))
+    print()
+    print(report)
+    write_report("ablation_tasklets.txt", report)
+
+    mram = {r["tasklets"]: r["cycles_per_element"]
+            for r in rows if r["placement"] == "mram"}
+    wram = {r["tasklets"]: r["cycles_per_element"]
+            for r in rows if r["placement"] == "wram"}
+    # Saturation at the issue spacing.
+    assert mram[16] == pytest.approx(mram[11], rel=0.02)
+    assert mram[1] > 5 * mram[16]
+    # Observation 4: no significant MRAM/WRAM difference when saturated.
+    assert mram[16] < 1.1 * wram[16]

@@ -1,0 +1,54 @@
+"""Ablation: balanced vs unbalanced host<->PIM transfers (Section 2.1).
+
+The UPMEM runtime scatters/gathers in parallel across all MRAM banks only
+when every bank's buffer has the same size; otherwise transfers serialize
+at single-bank bandwidth.  This ablation quantifies how severe that cliff
+is for Figure 9's Blackscholes — and why even data distribution is part of
+the workload design.
+"""
+
+from repro.analysis.report import format_table
+from repro.pim.system import PIMSystem
+from repro.workloads.blackscholes import Blackscholes, generate_options
+
+N = 10_000_000
+
+
+def _collect():
+    system = PIMSystem()
+    batch = generate_options(2000)
+    bs = Blackscholes("llut_i").setup()
+    rows = []
+    for balanced in (True, False):
+        res = system.run(
+            bs.kernel, batch.records(), tasklets=16, sample_size=24,
+            bytes_in_per_element=20, bytes_out_per_element=4,
+            balanced_transfers=balanced, virtual_n=N,
+        )
+        rows.append({
+            "mode": "balanced (parallel)" if balanced else
+                    "unbalanced (serial)",
+            "h2p": res.host_to_pim_seconds,
+            "p2h": res.pim_to_host_seconds,
+            "total": res.total_seconds,
+        })
+    return rows
+
+
+def test_transfer_balance_ablation(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("Ablation: transfer balance (Blackscholes, 10M options)\n"
+              + format_table(
+                  ["transfer mode", "scatter", "gather", "total"],
+                  [(r["mode"], f"{r['h2p'] * 1e3:.1f} ms",
+                    f"{r['p2h'] * 1e3:.1f} ms",
+                    f"{r['total'] * 1e3:.1f} ms") for r in rows]))
+    print()
+    print(report)
+    write_report("ablation_transfers.txt", report)
+
+    balanced, serial = rows
+    # Serial transfers are an order of magnitude slower and flip the
+    # workload from compute-bound to transfer-bound.
+    assert serial["h2p"] > 10 * balanced["h2p"]
+    assert serial["total"] > 2 * balanced["total"]

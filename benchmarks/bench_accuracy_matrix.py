@@ -1,0 +1,82 @@
+"""Per-function accuracy/cycles matrix across every supporting method.
+
+The arXiv version of the paper tabulates accuracy for every supported
+function; this bench regenerates that view: one row per (function, method)
+pair at a mid-range configuration, over each function's full bench domain
+(range extension enabled).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.api import make_method
+from repro.core.accuracy import measure
+from repro.core.functions.registry import get_function
+from repro.core.functions.support import METHOD_SUPPORT, PAPER_FUNCTIONS
+
+_PARAMS = {
+    "cordic": {"iterations": 28},
+    "cordic_fx": {"iterations": 28},
+    "poly": {"degree": 14},
+    "slut_i": {"target_rmse": 1e-7, "seg_bits": 4},
+    "cordic_lut": {"iterations": 28, "lut_bits": 6},
+    "mlut": {"size": 1 << 16},
+    "mlut_i": {"size": (1 << 12) + 1},
+    "llut": {"density_log2": 16},
+    "llut_i": {"density_log2": 12},
+    "llut_fx": {"density_log2": 16},
+    "llut_i_fx": {"density_log2": 12},
+    "dlut": {"mant_bits": 12},
+    "dlut_i": {"mant_bits": 8},
+    "dllut": {"mant_bits": 12},
+    "dllut_i": {"mant_bits": 8},
+}
+
+
+def _collect():
+    rng = np.random.default_rng(13)
+    rows = []
+    for function in sorted(PAPER_FUNCTIONS):
+        spec = get_function(function)
+        lo, hi = spec.bench_domain
+        xs = rng.uniform(lo, hi, 4096).astype(np.float32)
+        ref64 = spec.reference(xs.astype(np.float64))
+        scale = max(1.0, float(np.max(np.abs(ref64))))
+        for method, funcs in METHOD_SUPPORT.items():
+            if function not in funcs:
+                continue
+            m = make_method(function, method, assume_in_range=False,
+                            **_PARAMS[method]).setup()
+            rep = measure(m.evaluate_vec, spec.reference, xs)
+            rows.append({
+                "function": function,
+                "method": method,
+                "rmse": rep.rmse,
+                "ulp": rep.mean_ulp_error,
+                "cycles": m.mean_slots(xs[:12]),
+                "norm_rmse": rep.rmse / scale,
+            })
+    return rows
+
+
+def test_accuracy_matrix(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("Accuracy/cycles matrix: every supported (function, method) "
+              "pair, full input domains\n"
+              + format_table(
+                  ["function", "method", "rmse", "mean ULP", "cycles/elem"],
+                  [(r["function"], r["method"], f"{r['rmse']:.2e}",
+                    f"{r['ulp']:.1f}", f"{r['cycles']:.0f}") for r in rows]))
+    print()
+    print(report)
+    write_report("accuracy_matrix.txt", report)
+
+    # Every interpolated/CORDIC configuration reaches good normalized
+    # accuracy over its full domain.
+    for r in rows:
+        if r["method"] in ("llut_i", "mlut_i", "cordic"):
+            assert r["norm_rmse"] < 5e-4, (r["function"], r["method"])
+    # Full coverage: all supported paper-function pairs executed.
+    expected = sum(1 for m, funcs in METHOD_SUPPORT.items()
+                   for f in funcs if f in PAPER_FUNCTIONS)
+    assert len(rows) == expected

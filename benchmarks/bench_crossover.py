@@ -1,0 +1,32 @@
+"""Key Takeaway 2: the CORDIC-vs-L-LUT setup amortization crossover.
+
+The paper estimates ~40 sine operations before the L-LUT's longer host setup
+pays for itself against CORDIC's faster setup but slower per-element cost.
+"""
+
+from repro.analysis.crossover import amortization_crossover
+from repro.analysis.report import format_table
+
+
+def test_amortization_crossover(benchmark, sine_points, write_report):
+    result = benchmark.pedantic(
+        lambda: amortization_crossover(sine_points, rmse_target=1e-7),
+        rounds=1, iterations=1,
+    )
+    assert result is not None
+    report = "Key Takeaway 2: setup amortization crossover\n" + format_table(
+        ["quantity", "value"],
+        [
+            ("accuracy level (RMSE)", f"{result.rmse_level:.1e}"),
+            ("CORDIC cycles/elem", f"{result.cycles_flat:.0f}"),
+            ("L-LUT-interp cycles/elem", f"{result.cycles_fast:.0f}"),
+            ("CORDIC setup (s)", f"{result.setup_flat_s:.3e}"),
+            ("L-LUT-interp setup (s)", f"{result.setup_fast_s:.3e}"),
+            ("ops to amortize (paper: ~40)",
+             f"{result.elements_to_amortize:.0f}"),
+        ],
+    )
+    print()
+    print(report)
+    write_report("crossover.txt", report)
+    assert 3 <= result.elements_to_amortize <= 400

@@ -1,0 +1,60 @@
+"""Energy comparison for the Figure 9 workloads (extension).
+
+Charges the PIM system its active power times kernel time and the host its
+package power times execution time.  The honest outcome: PIM wins joules
+exactly where it wins (or nearly wins) seconds — transfer energy is
+negligible against softfloat compute at DDR4 per-byte costs.
+"""
+
+from repro.analysis.report import format_table
+from repro.pim.energy import DEFAULT_ENERGY_MODEL
+from repro.pim.system import PIMSystem
+from repro.workloads.blackscholes import Blackscholes, generate_options
+from repro.workloads.cpu_model import CPU_BLACKSCHOLES, CPU_SIGMOID
+from repro.workloads.sigmoid import Sigmoid, generate_inputs
+
+
+def _collect():
+    model = DEFAULT_ENERGY_MODEL
+    system = PIMSystem()
+    rows = []
+
+    n_bs = 10_000_000
+    batch = generate_options(2000)
+    cpu_t = CPU_BLACKSCHOLES.seconds(n_bs, 32)
+    rows.append(("blackscholes", "cpu_32t",
+                 model.cpu_energy(cpu_t, 24 * n_bs).total_joules))
+    for variant in ("llut_i", "llut_i_fx", "fixed_full"):
+        bs = Blackscholes(variant).setup()
+        res = bs.run(batch, system, virtual_n=n_bs)
+        rows.append(("blackscholes", f"pim_{variant}",
+                     model.pim_energy(res, 20 * n_bs, 4 * n_bs).total_joules))
+
+    n_sg = 30_000_000
+    xs = generate_inputs(2000)
+    cpu_t = CPU_SIGMOID.seconds(n_sg, 32)
+    rows.append(("sigmoid", "cpu_32t",
+                 model.cpu_energy(cpu_t, 8 * n_sg).total_joules))
+    sg = Sigmoid("llut_i").setup()
+    res = sg.run(xs, system, virtual_n=n_sg)
+    rows.append(("sigmoid", "pim_llut_i",
+                 model.pim_energy(res, 4 * n_sg, 4 * n_sg).total_joules))
+    return rows
+
+
+def test_workload_energy(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("Energy per workload run (extension; 560 W PIM system vs "
+              "250 W host)\n"
+              + format_table(["workload", "configuration", "joules"],
+                             [(w, c, f"{j:.1f}") for w, c, j in rows]))
+    print()
+    print(report)
+    write_report("energy.txt", report)
+
+    j = {(w, c): v for w, c, v in rows}
+    # PIM wins energy where it wins time (fixed Blackscholes)...
+    assert j[("blackscholes", "pim_fixed_full")] < \
+        j[("blackscholes", "cpu_32t")]
+    # ...and loses it where it loses time by more than the power ratio.
+    assert j[("sigmoid", "pim_llut_i")] > j[("sigmoid", "cpu_32t")]

@@ -1,0 +1,46 @@
+"""Figure 5: PIM execution cycles per element vs RMSE, all sine methods.
+
+Regenerates the paper's central figure: LUT methods flat in cycles, CORDIC
+growing linearly with accuracy, L-LUT dominating M-LUT, fixed-point
+interpolated L-LUT doubling the float version, and WRAM/MRAM curves
+coinciding.
+"""
+
+from repro.analysis.chart import scatter_chart
+from repro.analysis.export import sweep_to_csv, sweep_to_json
+from repro.analysis.figures import fig5_report
+from repro.analysis.sweep import default_inputs, sweep_method
+
+
+def test_fig5_cycles_vs_rmse(benchmark, sine_points, write_report):
+    inputs = default_inputs("sin", n=4096)
+
+    def measure_one():
+        return sweep_method("sin", "llut_i", "density_log2", (11,),
+                            inputs=inputs, sample_size=16)[0]
+
+    point = benchmark(measure_one)
+    report = fig5_report(sine_points)
+    series = {}
+    for p in sine_points:
+        if p.placement == "mram":
+            series.setdefault(p.method, []).append(
+                (p.rmse, p.cycles_per_element))
+    chart = scatter_chart(series, x_label="rmse", y_label="cycles/elem")
+    report = report + "\n\n" + chart
+    print()
+    print(report)
+    write_report("fig5_cycles.txt", report)
+    write_report("fig5_cycles.json", sweep_to_json(sine_points))
+    write_report("fig5_cycles.csv", sweep_to_csv(sine_points))
+
+    # The figure's headline orderings must hold in the regenerated data.
+    best = {}
+    for p in sine_points:
+        if p.placement != "mram":
+            continue
+        best.setdefault(p.method, []).append(p.cycles_per_element)
+    assert min(best["llut"]) < min(best["mlut"]) * 0.4
+    assert min(best["llut_i_fx"]) < min(best["llut_i"]) * 0.5
+    assert max(best["cordic"]) > 4 * min(best["llut_i"])
+    assert point.cycles_per_element > 0

@@ -1,0 +1,80 @@
+"""Figure-5-style sweeps for exp and tanh (Section 4.2.4: "general trends
+for other functions are similar to those of the sine").
+
+Verifies the sine conclusions transfer: LUT methods flat and ordered
+L-LUT < M-LUT, CORDIC growing, and — specific to tanh — the D-LUT family
+entering below everything else.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import default_inputs, sweep_method
+
+_GRIDS = {
+    "exp": [
+        ("cordic", "iterations", (12, 20, 28), None),
+        ("mlut", "size", (1 << 14, 1 << 18), None),
+        ("mlut_i", "size", (257, 4097), None),
+        ("llut", "density_log2", (14, 18), None),
+        ("llut_i", "density_log2", (8, 12), None),
+    ],
+    "tanh": [
+        ("cordic", "iterations", (12, 20, 28), None),
+        ("mlut_i", "size", (1025, 16385), None),
+        ("llut_i", "density_log2", (8, 12), None),
+        ("dlut_i", "mant_bits", (6, 10), None),
+        ("dllut_i", "mant_bits", (6, 10), None),
+    ],
+}
+
+
+def _collect(function):
+    inputs = default_inputs(function, n=8192)
+    points = []
+    for method, knob, values, extra in _GRIDS[function]:
+        points += sweep_method(function, method, knob, values,
+                               inputs=inputs, sample_size=12,
+                               extra_params=extra)
+    return points
+
+
+def test_fig5_exp(benchmark, write_report):
+    points = benchmark.pedantic(lambda: _collect("exp"), rounds=1,
+                                iterations=1)
+    report = ("Figure 5 analogue: exp methods (natural range [0, ln2))\n"
+              + format_table(
+                  ["method", "param", "rmse", "cycles/elem"],
+                  [(p.method, p.param, f"{p.rmse:.2e}",
+                    f"{p.cycles_per_element:.0f}") for p in points]))
+    print()
+    print(report)
+    write_report("fig5_exp.txt", report)
+
+    by = {}
+    for p in points:
+        by.setdefault(p.method, []).append(p.cycles_per_element)
+    assert min(by["llut"]) < 0.5 * min(by["mlut"])
+    assert min(by["llut_i"]) < min(by["mlut_i"])
+    assert min(by["cordic"]) > max(by["llut_i"])
+
+
+def test_fig5_tanh(benchmark, write_report):
+    points = benchmark.pedantic(lambda: _collect("tanh"), rounds=1,
+                                iterations=1)
+    report = ("Figure 5 analogue: tanh methods (natural range [0, 8))\n"
+              + format_table(
+                  ["method", "param", "rmse", "cycles/elem"],
+                  [(p.method, p.param, f"{p.rmse:.2e}",
+                    f"{p.cycles_per_element:.0f}") for p in points]))
+    print()
+    print(report)
+    write_report("fig5_tanh.txt", report)
+
+    by = {}
+    for p in points:
+        by.setdefault(p.method, []).append(p)
+    # Key Takeaway 4: D-LUT family cheapest for tanh at good accuracy.
+    best_dlut = min(by["dlut_i"], key=lambda p: p.cycles_per_element)
+    assert best_dlut.cycles_per_element < min(
+        p.cycles_per_element for p in by["llut_i"])
+    dense_dlut = min(by["dlut_i"], key=lambda p: p.rmse)
+    assert dense_dlut.rmse < 1e-5

@@ -1,0 +1,34 @@
+"""Figure 6: host setup time vs RMSE for every sine method.
+
+CORDIC setup is flat (a tiny angle table), LUT setup grows with table size,
+and CORDIC+LUT sits slightly above CORDIC but stays flat — the structure
+behind Key Takeaway 2 (CORDIC preferable for kernels computing only a few
+transcendental operations).
+"""
+
+from repro.analysis.figures import fig6_report
+from repro.api import make_method
+from repro.core.setup_model import setup_seconds
+
+
+def test_fig6_setup_vs_rmse(benchmark, sine_points, write_report):
+    def setup_one():
+        m = make_method("sin", "llut_i", density_log2=12).setup()
+        return setup_seconds(m)
+
+    benchmark(setup_one)
+    report = fig6_report(sine_points)
+    print()
+    print(report)
+    write_report("fig6_setup.txt", report)
+
+    by_method = {}
+    for p in sine_points:
+        if p.placement != "mram":
+            continue
+        by_method.setdefault(p.method, []).append(p.setup_seconds)
+    # CORDIC flat, LUTs growing, hybrid above CORDIC but flat.
+    assert max(by_method["cordic"]) < 1.1 * min(by_method["cordic"])
+    assert max(by_method["llut"]) > 10 * min(by_method["llut"])
+    assert min(by_method["cordic_lut"]) > max(by_method["cordic"])
+    assert max(by_method["cordic_lut"]) < 1.2 * min(by_method["cordic_lut"])

@@ -1,0 +1,41 @@
+"""Figure 7: PIM memory consumption vs RMSE for every sine method.
+
+Non-interpolated LUT accuracy is limited by available memory; CORDIC grows
+only linearly (iterations x 4 bytes); interpolation buys accuracy without
+memory — Key Takeaway 3.
+"""
+
+from repro.analysis.figures import fig7_report
+from repro.api import make_method
+
+
+def test_fig7_memory_vs_rmse(benchmark, sine_points, write_report):
+    def table_bytes_one():
+        return make_method("sin", "llut_i", density_log2=12).setup().table_bytes()
+
+    benchmark(table_bytes_one)
+    report = fig7_report(sine_points)
+    print()
+    print(report)
+    write_report("fig7_memory.txt", report)
+
+    mram = [p for p in sine_points if p.placement == "mram"]
+    by_method = {}
+    for p in mram:
+        by_method.setdefault(p.method, []).append(p)
+
+    # CORDIC memory is tiny at every accuracy.
+    assert max(p.table_bytes for p in by_method["cordic"]) < 1024
+    # Non-interpolated LUTs pay exponentially growing tables for accuracy.
+    llut = sorted(by_method["llut"], key=lambda p: p.rmse)
+    assert llut[0].table_bytes > 1000 * llut[-1].table_bytes
+
+    # Interpolation: at matched accuracy, the interpolated table is far
+    # smaller than the non-interpolated one.
+    best_llut_i = min(by_method["llut_i"], key=lambda p: p.rmse)
+    accurate_llut = [p for p in by_method["llut"]
+                     if p.rmse <= 10 * best_llut_i.rmse]
+    if accurate_llut:
+        assert best_llut_i.table_bytes < min(
+            p.table_bytes for p in accurate_llut
+        )

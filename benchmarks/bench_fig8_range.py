@@ -1,0 +1,20 @@
+"""Figure 8: range reduction/extension cycles per element.
+
+sin (periodic folding: two float multiplies) and exp (exponent split) are
+the expensive reductions; log (mantissa split) is cheaper; sqrt (frexp plus
+integer parity handling) is nearly free.
+"""
+
+from repro.analysis.figures import fig8_data, fig8_report
+
+
+def test_fig8_range_reduction_cycles(benchmark, write_report):
+    data = benchmark.pedantic(fig8_data, rounds=1, iterations=1)
+    report = fig8_report(data)
+    print()
+    print(report)
+    write_report("fig8_range_reduction.txt", report)
+
+    assert data["sqrt"] < 100
+    assert data["log"] < data["exp"]
+    assert data["sin"] > 500

@@ -1,0 +1,72 @@
+"""Study: direct GELU tabulation vs the tanh approximation on PIM.
+
+On CPUs/GPUs the tanh approximation of GELU is the standard implementation.
+On an FP-emulating PIM core the five softfloat multiplies wrapped around the
+tanh cost more than an entire direct lookup — and the approximation's own
+~1e-3 peak error caps accuracy no matter how good the tanh is.  Direct
+tabulation wins on both axes, reinforcing the paper's Key Takeaway 4.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.api import make_method
+from repro.core.accuracy import measure
+from repro.core.composite import GeluViaTanh
+from repro.core.functions.registry import get_function
+
+
+def _collect():
+    rng = np.random.default_rng(21)
+    xs = rng.uniform(-8, 8, 4096).astype(np.float32)
+    ref = get_function("gelu").reference
+
+    candidates = [
+        ("direct dlut_i", make_method("gelu", "dlut_i", mant_bits=8,
+                                      assume_in_range=False)),
+        ("direct dllut_i", make_method("gelu", "dllut_i", mant_bits=8,
+                                       assume_in_range=False)),
+        ("direct llut_i", make_method("gelu", "llut_i", density_log2=11,
+                                      assume_in_range=False)),
+        ("tanh-approx (dlut_i tanh)", GeluViaTanh(
+            make_method("tanh", "dlut_i", mant_bits=8,
+                        assume_in_range=True),
+            assume_in_range=False)),
+        ("tanh-approx (llut_i tanh)", GeluViaTanh(
+            make_method("tanh", "llut_i", density_log2=12,
+                        assume_in_range=True),
+            assume_in_range=False)),
+    ]
+    rows = []
+    for label, method in candidates:
+        method.setup()
+        rep = measure(method.evaluate_vec, ref, xs)
+        rows.append({
+            "label": label,
+            "cycles": method.mean_slots(xs[:24]),
+            "rmse": rep.rmse,
+            "max_err": rep.max_abs_error,
+            "bytes": method.table_bytes(),
+        })
+    return rows
+
+
+def test_gelu_direct_vs_tanh_approximation(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("GELU on PIM: direct tabulation vs the tanh approximation\n"
+              + format_table(
+                  ["implementation", "cycles/elem", "rmse", "max err",
+                   "bytes"],
+                  [(r["label"], f"{r['cycles']:.0f}", f"{r['rmse']:.2e}",
+                    f"{r['max_err']:.2e}", r["bytes"]) for r in rows]))
+    print()
+    print(report)
+    write_report("gelu_study.txt", report)
+
+    by = {r["label"]: r for r in rows}
+    direct = by["direct dlut_i"]
+    approx = by["tanh-approx (dlut_i tanh)"]
+    assert direct["cycles"] < 0.5 * approx["cycles"]
+    assert direct["rmse"] < approx["rmse"] / 100
+    # Even a near-perfect tanh cannot beat the approximation's own floor.
+    assert by["tanh-approx (llut_i tanh)"]["rmse"] > 1e-4

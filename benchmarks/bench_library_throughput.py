@@ -1,0 +1,46 @@
+"""Library-level throughput benchmarks (pytest-benchmark proper).
+
+These time the *Python library itself* — vectorized accuracy evaluation and
+traced-cost measurement — so regressions in the reproduction's own code show
+up as benchmark regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import make_method
+from repro.analysis.sweep import default_inputs
+
+_N = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return default_inputs("sin", n=_N)
+
+
+@pytest.mark.parametrize("method,params", [
+    ("llut", {"density_log2": 12}),
+    ("llut_i", {"density_log2": 12}),
+    ("llut_i_fx", {"density_log2": 12}),
+    ("mlut_i", {"size": 4097}),
+    ("cordic", {"iterations": 24}),
+])
+def test_vectorized_eval_throughput(benchmark, inputs, method, params):
+    m = make_method("sin", method, assume_in_range=True, **params).setup()
+    out = benchmark(m.evaluate_vec, inputs)
+    assert out.shape == inputs.shape
+
+
+def test_traced_element_throughput(benchmark, inputs):
+    m = make_method("sin", "llut_i", density_log2=12).setup()
+    slots = benchmark(m.mean_slots, inputs[:32])
+    assert slots > 0
+
+
+def test_setup_throughput(benchmark):
+    def build():
+        return make_method("sin", "llut_i", density_log2=14).setup()
+
+    m = benchmark(build)
+    assert m.entries > 0

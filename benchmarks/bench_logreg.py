@@ -1,0 +1,50 @@
+"""Logistic-regression inference: Figure 1(b) vs Figure 1(c) deployments.
+
+Extension workload from the paper's motivation: measures how much the
+sigmoid costs inside an end-to-end PIM inference kernel, and whether
+computing it on the PIM cores (TransPimLib, Figure 1(c)) beats shipping
+logits to the host and back (Figure 1(b)).
+"""
+
+from repro.analysis.report import format_table
+from repro.pim.system import PIMSystem
+from repro.workloads.logreg import LogisticRegression, generate_dataset
+
+N_VIRTUAL = 30_000_000
+
+
+def _collect():
+    system = PIMSystem()
+    features, weights, bias = generate_dataset(2000, n_features=16)
+    rows = []
+    for variant in ("poly", "llut_i", "host_sigmoid"):
+        model = LogisticRegression(variant).setup(weights, bias)
+        res = model.run(features, system, virtual_n=N_VIRTUAL)
+        rows.append({
+            "variant": variant,
+            "total": res.total_seconds,
+            "sigmoid_share": res.sigmoid_share,
+            "roundtrip": res.host_roundtrip_seconds,
+            "host_compute": res.host_compute_seconds,
+        })
+    return rows
+
+
+def test_logreg_deployments(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("Logistic regression, 30M samples x 16 features "
+              "(2545 PIM cores)\n"
+              + format_table(
+                  ["sigmoid backend", "total", "sigmoid share of kernel",
+                   "host roundtrip", "host compute"],
+                  [(r["variant"], f"{r['total'] * 1e3:.1f} ms",
+                    f"{r['sigmoid_share'] * 100:.0f}%",
+                    f"{r['roundtrip'] * 1e3:.1f} ms",
+                    f"{r['host_compute'] * 1e3:.1f} ms") for r in rows]))
+    print()
+    print(report)
+    write_report("logreg_deployments.txt", report)
+
+    t = {r["variant"]: r["total"] for r in rows}
+    assert t["llut_i"] < t["poly"]          # TransPimLib beats polynomial
+    assert t["llut_i"] < t["host_sigmoid"]  # Fig 1(c) beats Fig 1(b)

@@ -1,0 +1,70 @@
+"""Section 4.2.4: the other supported functions.
+
+Regenerates the observations the paper makes beyond sine:
+
+* tangent costs 2-3x a sine (sine + cosine + a float divide);
+* D-LUT / DL-LUT are ~2x faster than the interpolated L-LUT sine pipeline
+  for activation functions (tanh, GELU), at similar accuracy, because they
+  need neither range extension nor an address add (Key Takeaway 4).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.api import make_method
+from repro.core.accuracy import measure
+from repro.core.functions.registry import get_function
+
+
+def _microbench(function, method, **params):
+    rng = np.random.default_rng(5)
+    spec = get_function(function)
+    lo, hi = spec.bench_domain
+    xs = rng.uniform(lo, hi, 2048).astype(np.float32)
+    m = make_method(function, method, assume_in_range=False, **params).setup()
+    rep = measure(m.evaluate_vec, spec.reference, xs)
+    slots = m.mean_slots(xs[:24])
+    return {"function": function, "method": method,
+            "cycles": slots, "rmse": rep.rmse}
+
+
+def _collect():
+    rows = []
+    rows.append(_microbench("sin", "llut_i", density_log2=12))
+    rows.append(_microbench("cos", "llut_i", density_log2=12))
+    rows.append(_microbench("tan", "llut_i", density_log2=12))
+    rows.append(_microbench("tanh", "llut_i", density_log2=12))
+    rows.append(_microbench("tanh", "dlut_i", mant_bits=8))
+    rows.append(_microbench("tanh", "dllut_i", mant_bits=8))
+    rows.append(_microbench("gelu", "dlut_i", mant_bits=8))
+    rows.append(_microbench("gelu", "dllut_i", mant_bits=8))
+    rows.append(_microbench("sigmoid", "dllut_i", mant_bits=8))
+    rows.append(_microbench("cndf", "dllut_i", mant_bits=8))
+    rows.append(_microbench("exp", "llut_i", density_log2=14))
+    rows.append(_microbench("log", "llut_i", density_log2=14))
+    rows.append(_microbench("sqrt", "llut_i", density_log2=14))
+    return rows
+
+
+def test_other_functions(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = format_table(
+        ["function", "method", "cycles/elem", "rmse"],
+        [(r["function"], r["method"], f"{r['cycles']:.1f}",
+          f"{r['rmse']:.3e}") for r in rows],
+    )
+    report = "Section 4.2.4: other supported functions\n" + table
+    print()
+    print(report)
+    write_report("other_functions.txt", report)
+
+    by = {(r["function"], r["method"]): r for r in rows}
+    sin = by[("sin", "llut_i")]["cycles"]
+    tan = by[("tan", "llut_i")]["cycles"]
+    assert 1.5 < tan / sin < 3.5  # paper: 2-3x
+
+    # Key Takeaway 4: D-LUT family beats the sine L-LUT pipeline.
+    for fn in ("tanh", "gelu"):
+        fast = by[(fn, "dlut_i")]["cycles"]
+        assert fast < 0.8 * sin, fn
+        assert by[(fn, "dlut_i")]["rmse"] < 1e-5

@@ -1,0 +1,32 @@
+"""Pareto frontier over the Figure 5-7 sweep.
+
+Collapses the three figures into the 3-D (rmse, cycles, bytes) tradeoff and
+reports which methods a user should ever pick — quantifying Key Takeaways
+1 and 3 in one table.
+"""
+
+from repro.analysis.pareto import frontier_report, pareto_frontier
+
+
+def test_pareto_frontier(benchmark, sine_points, write_report):
+    mram = [p for p in sine_points if p.placement == "mram"]
+    frontier = benchmark.pedantic(
+        lambda: pareto_frontier(mram, tolerance=0.02), rounds=1, iterations=1
+    )
+    report = frontier_report(mram)
+    print()
+    print(report)
+    write_report("pareto_frontier.txt", report)
+
+    methods = {p.method for p in frontier}
+    # Key Takeaway 1: the L-LUT family populates the frontier...
+    assert {"llut", "llut_i"} & methods or {"llut_fx", "llut_i_fx"} & methods
+    # ...and Key Takeaway 3: CORDIC stays on it via its tiny memory.
+    assert any(m.startswith("cordic") for m in methods)
+    # The non-interpolated M-LUT is never the right choice: an equal-spacing
+    # L-LUT matches its accuracy and memory at a fifth of the cycles.
+    assert "mlut" not in methods
+    # And the L-LUT family outnumbers what is left of the M-LUT family.
+    n_llut = sum(1 for p in frontier if "llut" in p.method)
+    n_mlut = sum(1 for p in frontier if p.method.startswith("mlut"))
+    assert n_llut > n_mlut

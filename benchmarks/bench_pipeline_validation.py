@@ -1,0 +1,58 @@
+"""Validation: analytic pipeline model vs cycle-accurate simulation.
+
+DESIGN.md substitutes the paper's hardware cycle counter with a closed-form
+pipeline model.  This benchmark runs the same traced interpolated-L-LUT
+kernel through both the model and the instruction-level simulator across
+tasklet counts and placements, and reports the disagreement — the error bar
+on every cycles/element number in this reproduction.
+"""
+
+from repro.analysis.report import format_table
+from repro.api import make_method
+from repro.isa.counter import CycleCounter, Tally
+from repro.pim.config import UPMEM_DPU
+from repro.pim.exec import simulate, trace_to_program
+from repro.pim.pipeline import PipelineModel
+
+
+def _trace(placement):
+    m = make_method("sin", "llut_i", density_log2=10,
+                    placement=placement).setup()
+    trace = []
+    ctx = CycleCounter(trace_ops=trace)
+    for x in (0.3, 1.1, 2.2, 3.3, 4.4, 5.5):
+        m.evaluate(ctx, x)
+    return trace_to_program(trace), ctx.reset()
+
+
+def _collect():
+    model = PipelineModel(UPMEM_DPU)
+    rows = []
+    for placement in ("wram", "mram"):
+        prog, tally = _trace(placement)
+        for t in (1, 2, 4, 8, 11, 16):
+            sim = simulate([list(prog)] * t)
+            total = Tally(slots=tally.slots * t,
+                          dma_latency=tally.dma_latency * t)
+            analytic = model.cycles(total, t)
+            rows.append({
+                "placement": placement, "tasklets": t,
+                "simulated": sim.cycles, "analytic": analytic,
+                "error": analytic / sim.cycles - 1.0,
+            })
+    return rows
+
+
+def test_pipeline_model_validation(benchmark, write_report):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    report = ("Pipeline model vs cycle-accurate simulation "
+              "(interpolated L-LUT sine, 6 elements/tasklet)\n"
+              + format_table(
+                  ["placement", "tasklets", "simulated", "analytic", "error"],
+                  [(r["placement"], r["tasklets"], r["simulated"],
+                    f"{r['analytic']:.0f}", f"{r['error'] * 100:+.1f}%")
+                   for r in rows]))
+    print()
+    print(report)
+    write_report("pipeline_validation.txt", report)
+    assert all(abs(r["error"]) < 0.15 for r in rows)

@@ -1,0 +1,55 @@
+"""Table 2: implementation methods and supported functions.
+
+Regenerates the support matrix and *executes* it: every supported pair is
+instantiated, set up, and evaluated for sanity.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import table2_report
+from repro.api import make_method
+from repro.core.functions.registry import get_function
+from repro.core.functions.support import METHOD_SUPPORT
+
+_PARAMS = {
+    "cordic": {"iterations": 20},
+    "cordic_fx": {"iterations": 20},
+    "poly": {"degree": 12},
+    "slut_i": {"target_rmse": 1e-5, "seg_bits": 4},
+    "cordic_lut": {"iterations": 20, "lut_bits": 5},
+    "mlut": {"size": 4096},
+    "mlut_i": {"size": 1025},
+    "llut": {"density_log2": 12},
+    "llut_i": {"density_log2": 10},
+    "llut_fx": {"density_log2": 12},
+    "llut_i_fx": {"density_log2": 10},
+    "dlut": {"mant_bits": 8},
+    "dlut_i": {"mant_bits": 8},
+    "dllut": {"mant_bits": 8},
+    "dllut_i": {"mant_bits": 8},
+}
+
+
+def _exercise_matrix():
+    rng = np.random.default_rng(1)
+    count = 0
+    for method, funcs in METHOD_SUPPORT.items():
+        for fn in funcs:
+            spec = get_function(fn)
+            lo, hi = spec.bench_domain
+            xs = rng.uniform(lo, hi, 64).astype(np.float32)
+            m = make_method(fn, method, assume_in_range=False,
+                            **_PARAMS[method]).setup()
+            out = m.evaluate_vec(xs)
+            assert np.all(np.isfinite(out)), (method, fn)
+            count += 1
+    return count
+
+
+def test_table2_support_matrix(benchmark, write_report):
+    pairs = benchmark.pedantic(_exercise_matrix, rounds=1, iterations=1)
+    report = table2_report() + f"\n\nexecuted pairs: {pairs}"
+    print()
+    print(report)
+    write_report("table2_support.txt", report)
+    assert pairs == sum(len(v) for v in METHOD_SUPPORT.values())

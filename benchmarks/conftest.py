@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation: it prints the rows/series the paper plots and writes them to
+``benchmarks/out/`` so they survive pytest's output capture.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.figures import fig5_data
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Persist a figure/table report under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (OUT_DIR / name).write_text(text + "\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def sine_points():
+    """The Figure 5-7 sine sweep, computed once for the whole session."""
+    return fig5_data()

@@ -1,0 +1,92 @@
+"""Neural-network activation functions on PIM (the paper's motivation).
+
+Runs the forward pass of a small MLP classifier layer stack entirely with
+TransPimLib activation methods — GELU in the hidden layer (via D-LUT, Key
+Takeaway 4), softmax at the output — and checks the simulated PIM results
+against a float64 NumPy forward pass.  Also prints the per-activation cost
+comparison across methods.
+
+Run:  python examples/activation_functions.py
+"""
+
+import numpy as np
+
+from repro import make_method, get_function
+from repro.analysis.report import format_table
+from repro.core.accuracy import measure
+from repro.pim import DPU
+
+
+def forward_pass(x, w1, w2, gelu_fn, softmax_fn):
+    """Two-layer MLP: gelu(x @ w1) @ w2 -> softmax."""
+    hidden = gelu_fn((x @ w1).astype(np.float32))
+    logits = (hidden @ w2).astype(np.float32)
+    return softmax_fn(logits)
+
+
+def softmax_rows(logits, exp_fn):
+    shifted = (logits - logits.max(axis=1, keepdims=True)).astype(np.float32)
+    e = exp_fn(shifted.ravel()).reshape(shifted.shape)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    batch, d_in, d_hidden, d_out = 256, 32, 64, 10
+    x = rng.normal(0, 1, (batch, d_in)).astype(np.float32)
+    w1 = rng.normal(0, d_in ** -0.5, (d_in, d_hidden)).astype(np.float32)
+    w2 = rng.normal(0, d_hidden ** -0.5, (d_hidden, d_out)).astype(np.float32)
+
+    # TransPimLib methods: D-LUT suits GELU (approximately linear tails,
+    # no range extension needed); a direct-interval L-LUT serves softmax's
+    # exp (arguments are <= 0 after the max subtraction).
+    gelu = make_method("gelu", "dlut_i", mant_bits=8,
+                       assume_in_range=False).setup()
+    exp = make_method("exp", "llut_i", density_log2=12,
+                      interval=(-16.0, 1e-4), assume_in_range=True).setup()
+
+    pim_probs = forward_pass(
+        x, w1, w2,
+        gelu_fn=lambda v: gelu.evaluate_vec(v.ravel()).reshape(v.shape),
+        softmax_fn=lambda lg: softmax_rows(lg, exp.evaluate_vec),
+    )
+
+    # Reference forward pass in float64.
+    ref_probs = forward_pass(
+        x.astype(np.float64), w1.astype(np.float64), w2.astype(np.float64),
+        gelu_fn=lambda v: get_function("gelu").reference(v),
+        softmax_fn=lambda lg: np.exp(lg - lg.max(axis=1, keepdims=True))
+        / np.exp(lg - lg.max(axis=1, keepdims=True)).sum(axis=1, keepdims=True),
+    )
+
+    err = np.abs(pim_probs - ref_probs).max()
+    agree = (pim_probs.argmax(axis=1) == ref_probs.argmax(axis=1)).mean()
+    print(f"MLP forward pass on PIM activations: max |prob error| = {err:.2e}")
+    print(f"argmax agreement with float64 reference: {agree * 100:.1f}%")
+    print()
+
+    # Per-activation cost table (cycles per element on one PIM core).
+    dpu = DPU()
+    rows = []
+    for fn, method, params in [
+        ("gelu", "dlut_i", {"mant_bits": 8}),
+        ("gelu", "dllut_i", {"mant_bits": 8}),
+        ("gelu", "llut_i", {"density_log2": 11}),
+        ("tanh", "dlut_i", {"mant_bits": 8}),
+        ("tanh", "cordic", {"iterations": 24}),
+        ("sigmoid", "llut_i", {"density_log2": 11}),
+    ]:
+        spec = get_function(fn)
+        m = make_method(fn, method, assume_in_range=False, **params).setup()
+        lo, hi = spec.bench_domain
+        xs = rng.uniform(lo, hi, 2048).astype(np.float32)
+        rep = measure(m.evaluate_vec, spec.reference, xs)
+        res = dpu.run_kernel(m.evaluate, xs, tasklets=16, sample_size=24)
+        rows.append((fn, method, f"{res.cycles_per_element:.0f}",
+                     f"{rep.rmse:.2e}"))
+    print("activation function cost on one PIM core (16 tasklets):")
+    print(format_table(["function", "method", "cycles/elem", "rmse"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Method explorer: the accuracy/cycles/memory/setup tradeoff for a function.
+
+A miniature of the paper's Figures 5-7 for any supported function: sweeps
+every supporting method over its precision knob and prints the tradeoff
+surface, plus the recommendation logic of the paper's key takeaways.
+
+Run:  python examples/method_explorer.py [function]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_method, default_inputs
+from repro.core.functions.support import supported_methods
+
+#: Per-method sweep knobs (coarser than the benchmark harness, for speed).
+KNOBS = {
+    "cordic": ("iterations", (12, 20, 28)),
+    "cordic_fx": ("iterations", (12, 20, 28)),
+    "poly": ("degree", (6, 10, 14)),
+    "slut_i": ("seg_bits", (3, 4, 5), {"target_rmse": 1e-6}),
+    "cordic_lut": ("iterations", (12, 20, 28), {"lut_bits": 6}),
+    "mlut": ("size", (1 << 12, 1 << 16, 1 << 20)),
+    "mlut_i": ("size", (257, 4097, 65537)),
+    "llut": ("density_log2", (10, 14, 18)),
+    "llut_i": ("density_log2", (6, 10, 14)),
+    "llut_fx": ("density_log2", (10, 14, 18)),
+    "llut_i_fx": ("density_log2", (6, 10, 14)),
+    "dlut": ("mant_bits", (6, 9, 12)),
+    "dlut_i": ("mant_bits", (4, 8, 12)),
+    "dllut": ("mant_bits", (6, 9, 12)),
+    "dllut_i": ("mant_bits", (4, 8, 12)),
+}
+
+
+def main(function: str = "tanh") -> None:
+    inputs = default_inputs(function, n=8192)
+    points = []
+    for method in supported_methods(function):
+        knob = KNOBS[method]
+        name, values = knob[0], knob[1]
+        extra = knob[2] if len(knob) > 2 else None
+        points += sweep_method(function, method, name, values,
+                               inputs=inputs, sample_size=16,
+                               extra_params=extra)
+
+    rows = [
+        (p.method, p.param, f"{p.rmse:.2e}", f"{p.cycles_per_element:.0f}",
+         f"{p.table_bytes}", f"{p.setup_seconds * 1e6:.0f} us")
+        for p in sorted(points, key=lambda p: (p.method, p.rmse))
+    ]
+    print(f"method tradeoffs for {function!r} "
+          "(inputs in the natural range, MRAM tables, 16 tasklets)")
+    print(format_table(
+        ["method", "param", "rmse", "cycles/elem", "bytes", "setup"], rows
+    ))
+
+    # The paper's recommendation logic, applied to the measured points.
+    accurate = [p for p in points if p.rmse < 1e-6]
+    if accurate:
+        fastest = min(accurate, key=lambda p: p.cycles_per_element)
+        smallest = min(accurate, key=lambda p: p.table_bytes)
+        cheapest_setup = min(accurate, key=lambda p: p.setup_seconds)
+        print()
+        print(f"at RMSE < 1e-6:")
+        print(f"  fastest:        {fastest.method} ({fastest.param}), "
+              f"{fastest.cycles_per_element:.0f} cycles/elem")
+        print(f"  least memory:   {smallest.method} ({smallest.param}), "
+              f"{smallest.table_bytes} bytes")
+        print(f"  fastest setup:  {cheapest_setup.method} "
+              f"({cheapest_setup.param}), "
+              f"{cheapest_setup.setup_seconds * 1e6:.0f} us")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tanh")

@@ -1,0 +1,51 @@
+"""Quickstart: evaluate a transcendental function on a simulated PIM core.
+
+Builds the paper's best-tradeoff method (interpolated L-LUT) for the sine
+function, runs it over random inputs, and reports accuracy, per-element PIM
+cycles, memory, and modeled host setup time.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import make_method, measure, get_function
+from repro.core.setup_model import setup_seconds
+from repro.pim import DPU
+
+def main() -> None:
+    spec = get_function("sin")
+
+    # 1. Configure and set up the method (host side: builds the table).
+    sin = make_method("sin", "llut_i", density_log2=12,
+                      assume_in_range=False)  # handle any input angle
+    sin.setup()
+    print(f"method: {sin.describe()}")
+    print(f"host setup time (modeled): {setup_seconds(sin) * 1e3:.3f} ms")
+
+    # 2. Accuracy: bit-exact float32 evaluation vs the float64 reference.
+    rng = np.random.default_rng(42)
+    x = rng.uniform(-100.0, 100.0, 1 << 16).astype(np.float32)
+    report = measure(sin.evaluate_vec, spec.reference, x)
+    print(f"accuracy over 2^16 random angles in [-100, 100]: {report}")
+
+    # 3. Performance: simulate the microbenchmark loop on one PIM core.
+    dpu = DPU()
+    result = dpu.run_kernel(sin.evaluate, x[:4096], tasklets=16)
+    print(f"PIM cycles/element (16 tasklets): "
+          f"{result.cycles_per_element:.1f}")
+    print(f"  of which range reduction applies (inputs outside [0, 2pi))")
+
+    # 4. Compare against CORDIC at the same accuracy point.
+    cordic = make_method("sin", "cordic", iterations=28,
+                         assume_in_range=False).setup()
+    cres = dpu.run_kernel(cordic.evaluate, x[:4096], tasklets=16)
+    crep = measure(cordic.evaluate_vec, spec.reference, x)
+    print(f"CORDIC(28): {crep.rmse:.2e} RMSE at "
+          f"{cres.cycles_per_element:.1f} cycles/element "
+          f"({cres.cycles_per_element / result.cycles_per_element:.1f}x the "
+          f"L-LUT cost)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Deploy a set of TransPimLib functions into a PIM runtime.
+
+Shows the install-and-call workflow a downstream application would use: a
+:class:`~repro.pim.host.PIMRuntime` owns the simulated system, functions are
+installed into every core's memory (with capacity checking), and calls give
+both values and simulated whole-system timings.
+
+Run:  python examples/runtime_pipeline.py
+"""
+
+import numpy as np
+
+from repro import make_method
+from repro.pim.host import PIMRuntime
+
+
+def main() -> None:
+    rt = PIMRuntime()
+
+    # Install a small math library: activation functions in fast D-LUTs,
+    # exp/log with full range extension, sine in WRAM for the tightest loop.
+    installed = [
+        rt.install(make_method("sin", "llut_i", density_log2=11,
+                               placement="wram", assume_in_range=False)),
+        rt.install(make_method("exp", "llut_i", density_log2=14,
+                               assume_in_range=False)),
+        rt.install(make_method("log", "llut_i", density_log2=14,
+                               assume_in_range=False)),
+        rt.install(make_method("tanh", "dlut_i", mant_bits=8,
+                               assume_in_range=False)),
+        rt.install(make_method("gelu", "dllut_i", mant_bits=8,
+                               assume_in_range=False)),
+    ]
+
+    print(f"installed {len(rt.functions)} functions "
+          f"(total setup {rt.total_setup_seconds * 1e3:.2f} ms):")
+    for fn in installed:
+        print(f"  {fn.name:14s} {fn.table_bytes:>8d} B tables")
+    print()
+    print(rt.memory_report())
+    print()
+
+    # Call them like functions; time a whole-system run.
+    rng = np.random.default_rng(3)
+    # Stay inside the activation tables' covered range [-8, 8).
+    x = rng.normal(0, 1.5, 1 << 16).astype(np.float32)
+
+    gelu = rt["dllut_i:gelu"]
+    y = gelu(x)
+    err = np.abs(y - (x * 0.5 * (1 + np.vectorize(__import__("math").erf)(
+        x / np.sqrt(2))))).max()
+    res = gelu.run(x, virtual_n=30_000_000)
+    print(f"gelu over 30M elements: {res.total_seconds * 1e3:.1f} ms "
+          f"simulated, max error {err:.2e}")
+
+    sin = rt["llut_i:sin"]
+    res = sin.run(x, virtual_n=30_000_000)
+    print(f"sin  over 30M elements: {res.total_seconds * 1e3:.1f} ms "
+          f"simulated (WRAM-resident table)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim: enables editable installs where pep517 tooling is absent."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""TransPimLib reproduction: transcendental functions for PIM systems.
+
+The package reproduces Item et al., "TransPimLib: Efficient Transcendental
+Functions for Processing-in-Memory Systems" (ISPASS 2023) in pure Python:
+
+* :mod:`repro.core` — the eight implementation methods (CORDIC, CORDIC+LUT,
+  M-LUT, L-LUT, D-LUT, DL-LUT, interpolated and fixed-point variants) with
+  exact float32 / s3.28 semantics;
+* :mod:`repro.pim` — a UPMEM-like PIM system simulator (instruction cost
+  model, multithreaded pipeline, WRAM/MRAM, host transfers);
+* :mod:`repro.workloads` — Blackscholes, Sigmoid, and Softmax on the
+  simulated PIM system plus CPU and polynomial-approximation baselines;
+* :mod:`repro.analysis` — harnesses regenerating every figure and table of
+  the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import make_method
+
+    sin = make_method("sin", "llut_i", density_log2=12).setup()
+    x = np.linspace(0, 2 * np.pi, 1000, dtype=np.float32)
+    y = sin.evaluate_vec(x)           # accuracy path (bit-exact float32)
+    slots = sin.mean_slots(x[:64])    # PIM cycle cost per element
+"""
+
+from repro.api import ALL_METHOD_NAMES, LUT_METHODS, make_method
+from repro.core.accuracy import AccuracyReport, measure
+from repro.core.functions.registry import FUNCTIONS, get_function
+from repro.core.functions.support import METHOD_SUPPORT, supported_methods, supports
+from repro.core.method import Method
+from repro.errors import TransPimError
+from repro.isa import CycleCounter, OpCosts, UPMEM_COSTS
+from repro.pim import DPU, PIMSystem
+
+__all__ = [
+    "make_method",
+    "ALL_METHOD_NAMES",
+    "LUT_METHODS",
+    "Method",
+    "FUNCTIONS",
+    "get_function",
+    "METHOD_SUPPORT",
+    "supports",
+    "supported_methods",
+    "AccuracyReport",
+    "measure",
+    "CycleCounter",
+    "OpCosts",
+    "UPMEM_COSTS",
+    "DPU",
+    "PIMSystem",
+    "TransPimError",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,59 @@
+"""Evaluation harnesses: sweeps, figures, tables, crossovers, ablations."""
+
+from repro.analysis.breakdown import breakdown, breakdown_report
+from repro.analysis.chart import scatter_chart
+from repro.analysis.listing import kernel_listing, listing_report
+from repro.analysis.profile import error_profile, profile_report
+from repro.analysis.export import sweep_to_csv, sweep_to_json, write_csv, write_json
+from repro.analysis.crossover import CrossoverResult, amortization_crossover
+from repro.analysis.pareto import dominates, frontier_report, pareto_frontier
+from repro.analysis.recommend import Recommendation, Requirements, recommend
+from repro.analysis.figures import (
+    fig5_data,
+    fig5_report,
+    fig6_report,
+    fig7_report,
+    fig8_data,
+    fig8_report,
+    fig9_data,
+    fig9_report,
+    table2_report,
+)
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweep import SweepPoint, default_inputs, sweep_method
+
+__all__ = [
+    "SweepPoint",
+    "sweep_method",
+    "default_inputs",
+    "fig5_data",
+    "fig5_report",
+    "fig6_report",
+    "fig7_report",
+    "fig8_data",
+    "fig8_report",
+    "fig9_data",
+    "fig9_report",
+    "table2_report",
+    "amortization_crossover",
+    "CrossoverResult",
+    "breakdown",
+    "breakdown_report",
+    "recommend",
+    "Requirements",
+    "Recommendation",
+    "pareto_frontier",
+    "frontier_report",
+    "dominates",
+    "scatter_chart",
+    "kernel_listing",
+    "listing_report",
+    "error_profile",
+    "profile_report",
+    "sweep_to_json",
+    "sweep_to_csv",
+    "write_json",
+    "write_csv",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,120 @@
+"""Ablation studies beyond the paper's figures.
+
+These probe which conclusions are robust to the reproduction's modeling
+choices (DESIGN.md Section 5):
+
+* **cost-model sensitivity** — rescale the softfloat costs and check that the
+  method ordering of Figure 5 (L-LUT < M-LUT; interpolated fixed < float;
+  CORDIC slowest at high accuracy) survives;
+* **tasklet scaling** — cycles per element as the tasklet count grows,
+  showing pipeline saturation at 11 tasklets and that MRAM-resident LUTs
+  match WRAM ones once DMA latency is hidden (Observation 4);
+* **idealized FP hardware** — with single-cycle float ops (a hypothetical
+  PIM core with an FPU), how much of TransPimLib's advantage remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sweep import default_inputs
+from repro.api import make_method
+from repro.isa.opcosts import IDEALIZED_COSTS, OpCosts, UPMEM_COSTS
+from repro.pim.dpu import DPU
+
+__all__ = [
+    "method_ordering",
+    "cost_sensitivity",
+    "tasklet_scaling",
+    "idealized_comparison",
+]
+
+_F32 = np.float32
+
+#: (method, params) pairs compared at roughly matched accuracy (~1e-7).
+_MATCHED = (
+    ("mlut", {"size": (1 << 22)}),
+    ("mlut_i", {"size": (1 << 11) + 1}),
+    ("llut", {"density_log2": 20}),
+    ("llut_i", {"density_log2": 11}),
+    ("llut_fx", {"density_log2": 20}),
+    ("llut_i_fx", {"density_log2": 11}),
+    ("cordic", {"iterations": 26}),
+    ("cordic_lut", {"iterations": 26, "lut_bits": 8}),
+)
+
+
+def method_ordering(costs: OpCosts = UPMEM_COSTS,
+                    tasklets: int = 16) -> Dict[str, float]:
+    """Cycles/element for every sine method at matched (~1e-7) accuracy."""
+    inputs = default_inputs("sin", n=1 << 10)
+    dpu = DPU(costs=costs)
+    out: Dict[str, float] = {}
+    for method, params in _MATCHED:
+        m = make_method("sin", method, placement="mram",
+                        assume_in_range=True, costs=costs, **params).setup()
+        r = dpu.run_kernel(m.evaluate, inputs, tasklets=tasklets,
+                           sample_size=24)
+        out[method] = r.cycles_per_element
+    return out
+
+
+#: Orderings Figure 5's takeaways rest on, as (faster, slower) pairs.
+EXPECTED_ORDERINGS: Tuple[Tuple[str, str], ...] = (
+    ("llut", "mlut"),
+    ("llut_i", "mlut_i"),
+    ("llut_i_fx", "llut_i"),
+    ("llut_i", "cordic"),
+    ("cordic_lut", "cordic"),
+)
+
+
+def cost_sensitivity(scales: Sequence[float] = (0.5, 1.0, 2.0)) -> List[dict]:
+    """Rescale softfloat costs and report which orderings survive."""
+    results = []
+    for scale in scales:
+        costs = UPMEM_COSTS.replace(
+            fp_add=int(UPMEM_COSTS.fp_add * scale),
+            fp_mul=int(UPMEM_COSTS.fp_mul * scale),
+            fp_div=int(UPMEM_COSTS.fp_div * scale),
+        )
+        cycles = method_ordering(costs)
+        holds = {
+            f"{a}<{b}": cycles[a] < cycles[b] for a, b in EXPECTED_ORDERINGS
+        }
+        results.append({"scale": scale, "cycles": cycles, "orderings": holds})
+    return results
+
+
+def tasklet_scaling(
+    tasklet_counts: Sequence[int] = (1, 2, 4, 8, 11, 16, 24),
+    density_log2: int = 11,
+    costs: OpCosts = UPMEM_COSTS,
+) -> List[dict]:
+    """Interpolated L-LUT cycles/element vs tasklets, WRAM vs MRAM tables."""
+    inputs = default_inputs("sin", n=1 << 10)
+    dpu = DPU(costs=costs)
+    rows = []
+    for placement in ("wram", "mram"):
+        m = make_method("sin", "llut_i", density_log2=density_log2,
+                        placement=placement, assume_in_range=True,
+                        costs=costs).setup()
+        for t in tasklet_counts:
+            r = dpu.run_kernel(m.evaluate, inputs, tasklets=t, sample_size=24)
+            rows.append({
+                "placement": placement,
+                "tasklets": t,
+                "cycles_per_element": r.cycles_per_element,
+            })
+    return rows
+
+
+def idealized_comparison() -> Dict[str, Dict[str, float]]:
+    """Method costs under UPMEM-like vs idealized single-cycle-FP cores."""
+    return {
+        "upmem": method_ordering(UPMEM_COSTS),
+        "idealized_fp": method_ordering(IDEALIZED_COSTS),
+    }

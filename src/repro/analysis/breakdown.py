@@ -1,0 +1,93 @@
+"""Instruction breakdown: where a method's cycles actually go.
+
+For any configured method this reports, per operation class, how many times
+it executes per element and what share of the per-element slots it costs —
+making the paper's arguments ("the number of floating-point multiplications
+determines the cycle count", Section 4.2.1) directly inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.method import Method
+from repro.isa.counter import CycleCounter, Tally
+
+__all__ = ["OpShare", "breakdown", "breakdown_report"]
+
+#: Maps op names recorded by the counter to their OpCosts field.
+_COST_FIELD = {
+    "iadd": "int_alu", "isub": "int_alu", "iand": "int_alu",
+    "ior": "int_alu", "ixor": "int_alu", "shl": "int_alu",
+    "shr": "int_alu", "icmp": "int_alu", "bitcast": "int_alu",
+    "imul": "int_mul", "imul64": "int_mul64",
+    "idiv": "int_div", "idiv64": "int_div64",
+    "fadd": "fp_add", "fsub": "fp_add",
+    "fmul": "fp_mul", "fdiv": "fp_div", "fcmp": "fp_cmp",
+    "fneg": "fp_neg", "fabs": "fp_abs",
+    "f2i": "fp_to_int", "i2f": "int_to_fp",
+    "ffloor": "fp_floor", "fround": "fp_round",
+    "f2fx": "float_to_fixed", "fx2f": "fixed_to_float",
+    "ldexp": "ldexp", "frexp": "frexp",
+    "wram_read": "wram_access", "wram_write": "wram_access",
+    "mram_read": "mram_dma_setup",
+    "branch": "branch",
+}
+
+
+@dataclass(frozen=True)
+class OpShare:
+    """One operation class's contribution to the per-element cost."""
+
+    op: str
+    count_per_element: float
+    slots_per_element: float
+    share: float
+
+
+def _mean_tally(method: Method, inputs: np.ndarray) -> Tally:
+    total = Tally()
+    for x in inputs:
+        ctx = CycleCounter(method.costs)
+        method.evaluate(ctx, float(x))
+        total.add(ctx.reset())
+    scale = 1.0 / len(inputs)
+    mean = Tally(slots=total.slots * scale)
+    mean.counts = {k: v * scale for k, v in total.counts.items()}
+    return mean
+
+
+def breakdown(method: Method, inputs: np.ndarray) -> List[OpShare]:
+    """Per-op cost shares for evaluating ``method`` (most expensive first)."""
+    inputs = np.asarray(inputs, dtype=np.float32)
+    mean = _mean_tally(method, inputs)
+    shares: List[OpShare] = []
+    for op, count in mean.counts.items():
+        cost = getattr(method.costs, _COST_FIELD[op])
+        slots = count * cost
+        shares.append(OpShare(
+            op=op,
+            count_per_element=count,
+            slots_per_element=slots,
+            share=slots / mean.slots if mean.slots else 0.0,
+        ))
+    shares.sort(key=lambda s: s.slots_per_element, reverse=True)
+    return shares
+
+
+def breakdown_report(method: Method, inputs: np.ndarray) -> str:
+    """Readable table of the breakdown, headed by the method description."""
+    shares = breakdown(method, inputs)
+    total = sum(s.slots_per_element for s in shares)
+    rows = [
+        (s.op, f"{s.count_per_element:.2f}", f"{s.slots_per_element:.1f}",
+         f"{s.share * 100:.1f}%")
+        for s in shares
+    ]
+    rows.append(("total", "", f"{total:.1f}", "100%"))
+    return (f"instruction breakdown: {method.describe()}\n"
+            + format_table(["op", "count/elem", "slots/elem", "share"], rows))

@@ -1,0 +1,83 @@
+"""Dependency-free ASCII scatter charts for figure reports.
+
+The paper's figures are log-log scatter plots; this renders the same view
+in plain text so benchmark output conveys the *shape* (flat LUT lines,
+CORDIC's climb, the crossovers) at a glance, without plotting libraries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["scatter_chart"]
+
+#: Series markers assigned in order of first appearance.
+_MARKERS = "ox+*#@%&$govz"
+
+
+def _ticks(lo: float, hi: float, log: bool) -> Tuple[float, float]:
+    if log:
+        if lo <= 0 or hi <= 0:
+            raise ConfigurationError("log axes need positive values")
+        return math.log10(lo), math.log10(hi)
+    return lo, hi
+
+
+def scatter_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named point series as an ASCII scatter plot.
+
+    ``series`` maps a name to (x, y) points.  Collisions render the later
+    series' marker.  Returns the chart followed by a marker legend.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ConfigurationError("scatter_chart needs at least one point")
+    if width < 16 or height < 6:
+        raise ConfigurationError("chart too small to render")
+
+    all_pts = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = _ticks(min(xs), max(xs), log_x)
+    y_lo, y_hi = _ticks(min(ys), max(ys), log_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        fx = (_ticks(x, x, log_x)[0] - x_lo) / x_span
+        fy = (_ticks(y, y, log_y)[0] - y_lo) / y_span
+        col = min(width - 1, max(0, int(round(fx * (width - 1)))))
+        row = min(height - 1, max(0, int(round((1.0 - fy) * (height - 1)))))
+        grid[row][col] = marker
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        legend.append(f"  {marker} {name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    top = f"{max(ys):.2e}"
+    bottom = f"{min(ys):.2e}"
+    lines = []
+    for r, row in enumerate(grid):
+        label = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{label:>9s} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':9s}  {min(xs):.2e}{'':^{max(1, width - 20)}}{max(xs):.2e}")
+    lines.append(f"x: {x_label} ({'log' if log_x else 'lin'}), "
+                 f"y: {y_label} ({'log' if log_y else 'lin'})")
+    lines.extend(legend)
+    return "\n".join(lines)

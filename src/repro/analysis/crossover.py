@@ -1,0 +1,74 @@
+"""The CORDIC-vs-LUT amortization crossover (Section 4.2.2, Key Takeaway 2).
+
+CORDIC's setup is flat (a tiny angle table) while L-LUT's grows with the
+table; L-LUT is far faster per element.  The break-even element count is
+
+    n* = (setup_LLUT - setup_CORDIC) * f_PIM / (cycles_CORDIC - cycles_LLUT)
+
+The paper reports ~40 sine operations at RMSE 1e-9; this module recomputes
+the same quantity from the measured sweep so the benchmark can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.sweep import SweepPoint
+from repro.pim.config import DPUConfig, UPMEM_DPU
+
+__all__ = ["CrossoverResult", "amortization_crossover"]
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Break-even operation count between two methods at matched accuracy."""
+
+    fast_method: str
+    flat_method: str
+    rmse_level: float
+    cycles_fast: float
+    cycles_flat: float
+    setup_fast_s: float
+    setup_flat_s: float
+    elements_to_amortize: float
+
+
+def _best_at_accuracy(points: Sequence[SweepPoint], method: str,
+                      rmse_target: float) -> Optional[SweepPoint]:
+    """Cheapest configuration of ``method`` reaching ``rmse_target``."""
+    ok = [p for p in points
+          if p.method == method and p.placement == "mram"
+          and p.rmse <= rmse_target]
+    if not ok:
+        return None
+    return min(ok, key=lambda p: p.cycles_per_element)
+
+
+def amortization_crossover(
+    points: Sequence[SweepPoint],
+    rmse_target: float = 3e-8,
+    fast_method: str = "llut_i",
+    flat_method: str = "cordic",
+    dpu: DPUConfig = UPMEM_DPU,
+) -> Optional[CrossoverResult]:
+    """Compute the element count at which the LUT's setup pays for itself."""
+    fast = _best_at_accuracy(points, fast_method, rmse_target)
+    flat = _best_at_accuracy(points, flat_method, rmse_target)
+    if fast is None or flat is None:
+        return None
+    cycle_gap = flat.cycles_per_element - fast.cycles_per_element
+    setup_gap = fast.setup_seconds - flat.setup_seconds
+    if cycle_gap <= 0:
+        return None
+    elements = max(0.0, setup_gap) * dpu.frequency_hz / cycle_gap
+    return CrossoverResult(
+        fast_method=fast_method,
+        flat_method=flat_method,
+        rmse_level=rmse_target,
+        cycles_fast=fast.cycles_per_element,
+        cycles_flat=flat.cycles_per_element,
+        setup_fast_s=fast.setup_seconds,
+        setup_flat_s=flat.setup_seconds,
+        elements_to_amortize=elements,
+    )

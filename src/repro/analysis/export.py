@@ -1,0 +1,55 @@
+"""Machine-readable export of sweep and figure data (JSON / CSV).
+
+Benchmark reports are human text; downstream plotting or regression
+tracking wants structured data.  Exporters accept the same objects the
+report functions do.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Sequence
+
+from repro.analysis.figures import Fig9Row
+from repro.analysis.sweep import SweepPoint
+
+__all__ = ["sweep_to_json", "sweep_to_csv", "fig9_to_json",
+           "write_json", "write_csv"]
+
+
+def sweep_to_json(points: Sequence[SweepPoint]) -> str:
+    """Sweep points as a JSON array of objects."""
+    return json.dumps([dataclasses.asdict(p) for p in points], indent=2)
+
+
+def sweep_to_csv(points: Sequence[SweepPoint]) -> str:
+    """Sweep points as CSV with a header row."""
+    if not points:
+        return ""
+    fields = [f.name for f in dataclasses.fields(SweepPoint)]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    for p in points:
+        writer.writerow(dataclasses.asdict(p))
+    return buf.getvalue()
+
+
+def fig9_to_json(rows: Sequence[Fig9Row]) -> str:
+    """Figure 9 rows as JSON."""
+    return json.dumps([dataclasses.asdict(r) for r in rows], indent=2)
+
+
+def write_json(path, points: Sequence[SweepPoint]) -> None:
+    """Write sweep points to a JSON file."""
+    with open(path, "w") as f:
+        f.write(sweep_to_json(points))
+
+
+def write_csv(path, points: Sequence[SweepPoint]) -> None:
+    """Write sweep points to a CSV file."""
+    with open(path, "w", newline="") as f:
+        f.write(sweep_to_csv(points))

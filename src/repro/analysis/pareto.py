@@ -1,0 +1,92 @@
+"""Pareto-frontier extraction over the accuracy/cycles/memory space.
+
+Figures 5-7 plot three projections of one three-dimensional tradeoff.  This
+module finds the configurations that are not dominated in (RMSE, cycles,
+bytes) — the set a user should ever consider — and labels which methods
+populate the frontier at which accuracy regimes, quantifying Key Takeaways
+1 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepPoint
+
+__all__ = ["dominates", "pareto_frontier", "frontier_report",
+           "frontier_methods_by_accuracy"]
+
+
+def dominates(a: SweepPoint, b: SweepPoint, tolerance: float = 0.0) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and strictly
+    better somewhere (lower RMSE, fewer cycles, fewer bytes).
+
+    ``tolerance`` enables epsilon-dominance: ``a`` may be worse than ``b``
+    by up to that relative slack on some axes and still dominate, provided
+    it is better by *more* than the slack somewhere.  This absorbs the
+    +-1-entry rounding noise between methods with matched spacing.
+    """
+    slack = 1.0 + tolerance
+
+    def leq(x, y):
+        return x <= y * slack
+
+    def lt(x, y):
+        return x * slack < y
+
+    at_least = (leq(a.rmse, b.rmse)
+                and leq(a.cycles_per_element, b.cycles_per_element)
+                and leq(a.table_bytes, b.table_bytes))
+    strictly = (lt(a.rmse, b.rmse)
+                or lt(a.cycles_per_element, b.cycles_per_element)
+                or lt(a.table_bytes, b.table_bytes))
+    return at_least and strictly
+
+
+def pareto_frontier(points: Sequence[SweepPoint],
+                    tolerance: float = 0.0) -> List[SweepPoint]:
+    """Non-dominated subset, sorted by RMSE (most accurate last)."""
+    frontier = [
+        p for p in points
+        if not any(dominates(q, p, tolerance) for q in points if q is not p)
+    ]
+    frontier.sort(key=lambda p: (-p.rmse, p.cycles_per_element))
+    return frontier
+
+
+def frontier_methods_by_accuracy(
+    points: Sequence[SweepPoint],
+    bands: Sequence[Tuple[float, float]] = (
+        (1e-3, 1e-4), (1e-4, 1e-6), (1e-6, 1e-7), (1e-7, 0.0),
+    ),
+) -> Dict[str, List[str]]:
+    """Which methods appear on the frontier within each accuracy band."""
+    frontier = pareto_frontier(points)
+    out: Dict[str, List[str]] = {}
+    for hi, lo in bands:
+        label = f"[{lo:g}, {hi:g})"
+        methods = sorted({p.method for p in frontier if lo <= p.rmse < hi})
+        out[label] = methods
+    return out
+
+
+def frontier_report(points: Sequence[SweepPoint]) -> str:
+    """Readable frontier table plus the per-band method summary."""
+    frontier = pareto_frontier(points)
+    rows = [
+        (p.method, p.placement, p.param, f"{p.rmse:.2e}",
+         f"{p.cycles_per_element:.0f}", p.table_bytes)
+        for p in frontier
+    ]
+    table = format_table(
+        ["method", "placement", "param", "rmse", "cycles/elem", "bytes"],
+        rows,
+    )
+    bands = frontier_methods_by_accuracy(points)
+    band_rows = [(band, ", ".join(methods) or "-")
+                 for band, methods in bands.items()]
+    band_table = format_table(["rmse band", "frontier methods"], band_rows)
+    return ("Pareto frontier over (rmse, cycles, bytes)\n" + table
+            + "\n\nfrontier membership by accuracy band\n" + band_table)

@@ -1,0 +1,85 @@
+"""Error profiles: where in its domain a method errs, and by how much.
+
+RMSE is one number; diagnosing a table needs the error as a function of the
+input — is it the pole region, a segment boundary, the clamp at the domain
+edge?  ``error_profile`` bins the domain and reports per-bin RMS and max
+error; ``profile_report`` renders it with a bar column so hotspots stand
+out in plain text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.method import Method
+
+__all__ = ["ErrorBin", "error_profile", "profile_report"]
+
+
+@dataclass(frozen=True)
+class ErrorBin:
+    """Error statistics over one sub-interval of the domain."""
+
+    lo: float
+    hi: float
+    rms: float
+    peak: float
+    peak_x: float
+
+
+def error_profile(
+    method: Method,
+    n_bins: int = 16,
+    n_points: int = 1 << 15,
+    domain: Optional[Tuple[float, float]] = None,
+    seed: int = 3,
+) -> List[ErrorBin]:
+    """Binned error of ``method`` against its float64 reference."""
+    lo, hi = domain if domain is not None else method.spec.bench_domain
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(lo, hi, n_points).astype(np.float32)
+    approx = method.evaluate_vec(xs).astype(np.float64)
+    exact = method.spec.reference(xs.astype(np.float64))
+    err = np.abs(approx - exact)
+
+    edges = np.linspace(lo, hi, n_bins + 1)
+    which = np.clip(np.digitize(xs, edges) - 1, 0, n_bins - 1)
+    bins: List[ErrorBin] = []
+    for b in range(n_bins):
+        mask = which == b
+        if not np.any(mask):
+            bins.append(ErrorBin(edges[b], edges[b + 1], 0.0, 0.0,
+                                 float(edges[b])))
+            continue
+        seg_err = err[mask]
+        peak_i = int(np.argmax(seg_err))
+        bins.append(ErrorBin(
+            lo=float(edges[b]),
+            hi=float(edges[b + 1]),
+            rms=float(np.sqrt(np.mean(np.square(seg_err)))),
+            peak=float(seg_err[peak_i]),
+            peak_x=float(xs[mask][peak_i]),
+        ))
+    return bins
+
+
+def profile_report(method: Method, n_bins: int = 16, **kwargs) -> str:
+    """Render the profile with a log-scaled bar per bin."""
+    bins = error_profile(method, n_bins=n_bins, **kwargs)
+    worst = max((b.rms for b in bins), default=0.0) or 1e-300
+    floor = worst / 1e4
+    rows = []
+    for b in bins:
+        frac = 0.0
+        if b.rms > floor:
+            frac = 1.0 + np.log10(b.rms / worst) / 4.0  # 4 decades of bar
+        bar = "#" * max(0, int(round(frac * 30)))
+        rows.append((f"[{b.lo:+.3g}, {b.hi:+.3g})", f"{b.rms:.2e}",
+                     f"{b.peak:.2e}", f"{b.peak_x:+.4g}", bar))
+    return (f"error profile: {method.describe()}\n"
+            + format_table(["bin", "rms", "peak", "peak at", "rms (log bar)"],
+                           rows))

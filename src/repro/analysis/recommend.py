@@ -1,0 +1,170 @@
+"""Method selection: the paper's key takeaways as an executable policy.
+
+Given a target function, an accuracy requirement, the number of evaluations
+per setup (the amortization count from Key Takeaway 2), and a PIM memory
+budget (Key Takeaway 3), rank every supporting method configuration by its
+total cost
+
+    total = setup_seconds + evaluations * cycles_per_element / f_PIM
+
+over *measured* sweep points (each candidate configuration is actually
+built and its RMSE measured, exactly like the Figure 5-7 harness).
+
+The rationale strings connect the winner back to the paper's takeaways:
+few evaluations favor CORDIC's flat setup; high accuracy under a memory
+budget favors interpolated L-LUTs; activation-shaped functions favor the
+D-LUT family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sweep import WRAM_TABLE_BUDGET, sweep_method
+from repro.core.functions.registry import get_function
+from repro.core.functions.support import supported_methods
+from repro.errors import ConfigurationError
+from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.pim.config import DPUConfig, UPMEM_DPU
+
+__all__ = ["Requirements", "Recommendation", "recommend"]
+
+#: Search grids per method (precision knob values tried).
+_GRIDS: Dict[str, Tuple[str, Sequence[int], Optional[Dict[str, int]]]] = {
+    "cordic": ("iterations", (8, 12, 16, 20, 24, 28, 32), None),
+    "cordic_fx": ("iterations", (8, 12, 16, 20, 24, 28, 32), None),
+    "poly": ("degree", (4, 6, 8, 10, 12, 16), None),
+    "slut_i": ("seg_bits", (3, 4, 5), None),
+    "cordic_lut": ("iterations", (12, 16, 20, 24, 28, 32), {"lut_bits": 8}),
+    "mlut": ("size", tuple((1 << k) for k in range(10, 23, 2)), None),
+    "mlut_i": ("size", tuple((1 << k) + 1 for k in range(5, 16, 2)), None),
+    "llut": ("density_log2", tuple(range(8, 24, 2)), None),
+    "llut_i": ("density_log2", tuple(range(4, 15, 2)), None),
+    "llut_fx": ("density_log2", tuple(range(8, 25, 2)), None),
+    "llut_i_fx": ("density_log2", tuple(range(4, 15, 2)), None),
+    "dlut": ("mant_bits", tuple(range(4, 15, 2)), None),
+    "dlut_i": ("mant_bits", tuple(range(4, 13, 2)), None),
+    "dllut": ("mant_bits", tuple(range(4, 15, 2)), None),
+    "dllut_i": ("mant_bits", tuple(range(4, 13, 2)), None),
+}
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What the kernel needs from its transcendental function."""
+
+    rmse_target: float = 1e-6
+    #: Evaluations between setups (amortization count, Key Takeaway 2).
+    evaluations: int = 1_000_000
+    #: PIM memory available for tables, bytes (Key Takeaway 3).
+    memory_budget: int = 1 << 20
+    #: Restrict tables to the scratchpad (WRAM)?
+    wram_only: bool = False
+    #: Inputs guaranteed inside the natural range (skips range extension)?
+    in_natural_range: bool = True
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked candidate configuration."""
+
+    method: str
+    param: str
+    rmse: float
+    cycles_per_element: float
+    setup_seconds: float
+    table_bytes: int
+    total_seconds: float
+    rationale: str
+
+
+def _rationale(method: str, req: Requirements) -> str:
+    if method.startswith("cordic"):
+        if req.evaluations < 1000:
+            return ("flat setup amortizes immediately for few evaluations "
+                    "(Key Takeaway 2)")
+        return "minimal memory footprint at the required accuracy"
+    if method.startswith("dlut") or method.startswith("dllut"):
+        return ("float-grid spacing fits this saturating function "
+                "(Key Takeaway 4)")
+    if method.endswith("_fx"):
+        return ("fixed-point arithmetic replaces softfloat multiplies "
+                "(Figure 5, fixed-vs-float)")
+    if "llut" in method:
+        return ("ldexp-based addressing avoids the float multiply "
+                "(Key Takeaway 1)")
+    if method == "poly":
+        return "coefficient-only footprint; pays a multiply-add per term"
+    return "uniform table with multiply-based addressing"
+
+
+def recommend(
+    function: str,
+    requirements: Requirements = Requirements(),
+    top_k: int = 3,
+    costs: OpCosts = UPMEM_COSTS,
+    dpu: DPUConfig = UPMEM_DPU,
+    n_accuracy_points: int = 4096,
+) -> List[Recommendation]:
+    """Rank supporting method configurations for ``function``.
+
+    Returns up to ``top_k`` recommendations, cheapest total time first.
+    Raises :class:`ConfigurationError` when no configuration meets the
+    requirements (e.g. an unreachable accuracy under a tiny memory budget).
+    """
+    spec = get_function(function)
+    rng = np.random.default_rng(17)
+    lo, hi = spec.natural_range if requirements.in_natural_range \
+        else spec.bench_domain
+    inputs = rng.uniform(lo, hi, n_accuracy_points).astype(np.float32)
+
+    placement = "wram" if requirements.wram_only else "mram"
+    budget = min(requirements.memory_budget,
+                 WRAM_TABLE_BUDGET if requirements.wram_only else 1 << 62)
+
+    candidates: List[Recommendation] = []
+    for method in supported_methods(function):
+        if method not in _GRIDS:
+            continue
+        param_name, values, extra = _GRIDS[method]
+        if method == "slut_i":
+            # The segmented LUT sizes itself from the accuracy target.
+            extra = {"target_rmse": requirements.rmse_target}
+        points = sweep_method(
+            function, method, param_name, values,
+            placement=placement,
+            assume_in_range=requirements.in_natural_range,
+            inputs=inputs, sample_size=12, costs=costs, extra_params=extra,
+        )
+        feasible = [p for p in points
+                    if p.rmse <= requirements.rmse_target
+                    and p.table_bytes <= budget]
+        if not feasible:
+            continue
+        best = min(feasible, key=lambda p: p.cycles_per_element)
+        total = best.setup_seconds + (
+            requirements.evaluations * best.cycles_per_element
+            / dpu.frequency_hz
+        )
+        candidates.append(Recommendation(
+            method=method,
+            param=best.param,
+            rmse=best.rmse,
+            cycles_per_element=best.cycles_per_element,
+            setup_seconds=best.setup_seconds,
+            table_bytes=best.table_bytes,
+            total_seconds=total,
+            rationale=_rationale(method, requirements),
+        ))
+
+    if not candidates:
+        raise ConfigurationError(
+            f"no method configuration for {function!r} reaches RMSE "
+            f"{requirements.rmse_target:g} within {requirements.memory_budget} "
+            f"bytes"
+        )
+    candidates.sort(key=lambda r: r.total_seconds)
+    return candidates[:top_k]

@@ -1,0 +1,46 @@
+"""Plain-text reporting helpers for figure/table harnesses.
+
+Benchmarks print the same rows/series the paper's figures plot, as aligned
+ASCII tables — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table with a header rule."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[Sequence[float]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as ``name: (x, y) ...`` lines."""
+    parts = [f"{name} [{x_label} -> {y_label}]"]
+    for x, y in points:
+        parts.append(f"    {_cell(x)} -> {_cell(y)}")
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,93 @@
+"""High-level public API: build any (function, method) pair by name.
+
+This is the reproduction's equivalent of TransPimLib's include-and-call
+interface: pick a function (``"sin"``), a method (``"llut_i"``), tune its
+precision knob, and get an object with a host-side :meth:`~repro.core.method.Method.setup`
+and a PIM-side evaluate.
+
+Example::
+
+    from repro import make_method
+    sin = make_method("sin", "llut_i", density_log2=12).setup()
+    values = sin.evaluate_vec(inputs)          # accuracy path
+    slots = sin.mean_slots(inputs[:64])        # performance path
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.cordic.circular import CordicCircular
+from repro.core.cordic.fixed import CordicCircularFixed
+from repro.core.cordic.hyperbolic import CordicHyperbolic
+from repro.core.cordic.vectoring import CordicArctan
+from repro.core.functions.registry import get_function
+from repro.core.functions.support import check_support
+from repro.core.hybrid import HybridCircular, HybridHyperbolic
+from repro.core.lut import (
+    DLLUT,
+    DLUT,
+    LLUT,
+    MLUT,
+    DLLUTInterpolated,
+    DLUTInterpolated,
+    LLUTFixed,
+    LLUTInterpolated,
+    LLUTInterpolatedFixed,
+    MLUTInterpolated,
+)
+from repro.core.method import Method
+
+__all__ = ["make_method", "LUT_METHODS", "ALL_METHOD_NAMES"]
+
+_TRIG = ("sin", "cos", "tan")
+
+LUT_METHODS: Dict[str, Type[Method]] = {
+    "mlut": MLUT,
+    "mlut_i": MLUTInterpolated,
+    "llut": LLUT,
+    "llut_i": LLUTInterpolated,
+    "llut_fx": LLUTFixed,
+    "llut_i_fx": LLUTInterpolatedFixed,
+    "dlut": DLUT,
+    "dlut_i": DLUTInterpolated,
+    "dllut": DLLUT,
+    "dllut_i": DLLUTInterpolated,
+}
+
+ALL_METHOD_NAMES = ("cordic", "cordic_lut", "cordic_fx", "poly",
+                    "slut_i") + tuple(LUT_METHODS)
+
+
+def make_method(function: str, method: str, **params) -> Method:
+    """Instantiate ``method`` for ``function`` (validated against Table 2).
+
+    Remaining keyword arguments go to the method constructor: precision knobs
+    (``iterations``, ``density_log2``, ``size``, ``mant_bits``, ``lut_bits``)
+    and common options (``placement``, ``assume_in_range``, ``costs``).
+    The returned method still needs :meth:`setup` before evaluation.
+    """
+    check_support(method, function)
+    spec = get_function(function)
+    if method == "cordic":
+        if function == "atan":
+            return CordicArctan(spec, **params)
+        cls = CordicCircular if function in _TRIG else CordicHyperbolic
+        return cls(spec, **params)
+    if method == "cordic_fx":
+        return CordicCircularFixed(spec, **params)
+    if method == "poly":
+        from repro.core.polymethod import MinimaxPolyMethod
+        return MinimaxPolyMethod(spec, **params)
+    if method == "cordic_lut":
+        cls = HybridCircular if function in _TRIG else HybridHyperbolic
+        return cls(spec, **params)
+    if method == "slut_i":
+        from repro.core.lut.slut import SegmentedLLUT
+        return SegmentedLLUT(spec, **params)
+    if function == "tan":
+        # Tangent cannot be tabulated directly (unbounded slope at the
+        # poles); it is sine and cosine lookups plus a divide (Section 4.2.4).
+        from repro.core.lut.tan import TanQuotientLUT
+        return TanQuotientLUT(LUT_METHODS[method], spec, **params)
+    return LUT_METHODS[method](spec, **params)

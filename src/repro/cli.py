@@ -1,0 +1,245 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+Usage::
+
+    python -m repro table2
+    python -m repro fig5 [--quick]
+    python -m repro fig6 [--quick]
+    python -m repro fig7 [--quick]
+    python -m repro fig8
+    python -m repro fig9
+    python -m repro explore FUNCTION
+    python -m repro recommend FUNCTION [--rmse 1e-6] [--evals N] [--memory B]
+    python -m repro breakdown FUNCTION METHOD [knob=value ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _sweep_points(quick: bool):
+    from repro.analysis.figures import fig5_data
+    from repro.analysis.sweep import SINE_SWEEPS, default_inputs, sweep_method
+    if not quick:
+        return fig5_data()
+    inputs = default_inputs("sin", n=4096)
+    points = []
+    for method, cfg in SINE_SWEEPS.items():
+        cfg = dict(cfg)
+        cfg["param_values"] = cfg["param_values"][::2]
+        points.extend(sweep_method("sin", method, inputs=inputs,
+                                   sample_size=12, **cfg))
+    return points
+
+
+def _cmd_fig(args) -> int:
+    from repro.analysis import figures
+    if args.command == "fig8":
+        print(figures.fig8_report(figures.fig8_data()))
+        return 0
+    if args.command == "fig9":
+        print(figures.fig9_report(figures.fig9_data(trace_elements=2000)))
+        return 0
+    points = _sweep_points(args.quick)
+    report = {
+        "fig5": figures.fig5_report,
+        "fig6": figures.fig6_report,
+        "fig7": figures.fig7_report,
+    }[args.command](points)
+    print(report)
+    return 0
+
+
+def _cmd_pareto(args) -> int:
+    from repro.analysis.pareto import frontier_report
+    points = _sweep_points(args.quick)
+    print(frontier_report([p for p in points if p.placement == "mram"]))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.analysis.report import format_table
+    from repro.api import make_method
+    from repro.isa.counter import CycleCounter, Tally
+    from repro.pim.config import UPMEM_DPU
+    from repro.pim.exec import simulate, trace_to_program
+    from repro.pim.pipeline import PipelineModel
+
+    m = make_method("sin", "llut_i", density_log2=10).setup()
+    trace = []
+    ctx = CycleCounter(trace_ops=trace)
+    for x in (0.3, 1.1, 2.2, 3.3, 4.4, 5.5):
+        m.evaluate(ctx, x)
+    prog = trace_to_program(trace)
+    tally = ctx.reset()
+    model = PipelineModel(UPMEM_DPU)
+    rows = []
+    for t in (1, 4, 11, 16):
+        sim = simulate([list(prog)] * t)
+        analytic = model.cycles(
+            Tally(slots=tally.slots * t, dma_latency=tally.dma_latency * t), t
+        )
+        rows.append((t, sim.cycles, f"{analytic:.0f}",
+                     f"{(analytic / sim.cycles - 1) * 100:+.2f}%"))
+    print("analytic pipeline model vs cycle-accurate simulation")
+    print(format_table(["tasklets", "simulated", "analytic", "error"], rows))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.analysis.figures import table2_report
+    print(table2_report())
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    import importlib
+    explorer = importlib.import_module("examples.method_explorer")
+    explorer.main(args.function)
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.analysis.recommend import Requirements, recommend
+    from repro.analysis.report import format_table
+    recs = recommend(args.function, Requirements(
+        rmse_target=args.rmse,
+        evaluations=args.evals,
+        memory_budget=args.memory,
+    ))
+    rows = [
+        (i + 1, r.method, r.param, f"{r.rmse:.2e}",
+         f"{r.cycles_per_element:.0f}", f"{r.total_seconds * 1e3:.3f} ms",
+         r.rationale)
+        for i, r in enumerate(recs)
+    ]
+    print(f"recommended methods for {args.function!r} "
+          f"(rmse<={args.rmse:g}, {args.evals} evals, "
+          f"{args.memory} B budget):")
+    print(format_table(
+        ["#", "method", "param", "rmse", "cycles/elem", "total", "why"], rows
+    ))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis.profile import profile_report
+    from repro.api import make_method
+    params = {}
+    for item in args.knobs:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    m = make_method(args.function, args.method, assume_in_range=False,
+                    **params).setup()
+    print(profile_report(m, n_bins=args.bins))
+    return 0
+
+
+def _cmd_listing(args) -> int:
+    from repro.analysis.listing import listing_report
+    from repro.api import make_method
+    params = {}
+    for item in args.knobs:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    m = make_method(args.function, args.method, assume_in_range=False,
+                    **params).setup()
+    print(listing_report(m, args.x))
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    from repro.analysis.breakdown import breakdown_report
+    from repro.api import make_method
+    from repro.core.functions.registry import get_function
+    params = {}
+    for item in args.knobs:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    m = make_method(args.function, args.method, assume_in_range=False,
+                    **params).setup()
+    spec = get_function(args.function)
+    lo, hi = spec.bench_domain
+    xs = np.random.default_rng(0).uniform(lo, hi, 64).astype(np.float32)
+    print(breakdown_report(m, xs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TransPimLib reproduction: regenerate the evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in ("fig5", "fig6", "fig7"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        p.add_argument("--quick", action="store_true",
+                       help="coarser sweep for a faster run")
+        p.set_defaults(func=_cmd_fig)
+    for fig in ("fig8", "fig9"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        p.set_defaults(func=_cmd_fig)
+
+    p = sub.add_parser("table2", help="print the support matrix")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("pareto", help="Pareto frontier of the sine sweep")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser("validate",
+                       help="pipeline model vs cycle-accurate simulation")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("explore", help="method tradeoffs for a function")
+    p.add_argument("function")
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("recommend", help="pick a method for requirements")
+    p.add_argument("function")
+    p.add_argument("--rmse", type=float, default=1e-6)
+    p.add_argument("--evals", type=int, default=1_000_000)
+    p.add_argument("--memory", type=int, default=1 << 20)
+    p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser("breakdown", help="instruction breakdown of a method")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("knobs", nargs="*", help="precision knobs, e.g. density_log2=12")
+    p.set_defaults(func=_cmd_breakdown)
+
+    p = sub.add_parser("profile", help="binned error profile of a method")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("--bins", type=int, default=16)
+    p.add_argument("knobs", nargs="*", help="precision knobs")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("listing",
+                       help="pseudo-assembly listing of one evaluation")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("--x", type=float, default=1.0)
+    p.add_argument("knobs", nargs="*", help="precision knobs")
+    p.set_defaults(func=_cmd_listing)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # piping into head etc. is fine
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: CORDIC- and LUT-based method library."""
+
+from repro.core.accuracy import AccuracyReport, max_abs_error, measure, rmse
+from repro.core.functions.registry import FUNCTIONS, FunctionSpec, get_function
+from repro.core.functions.support import (
+    BASE_METHODS,
+    METHOD_SUPPORT,
+    supported_functions,
+    supported_methods,
+    supports,
+)
+from repro.core.method import Method
+
+__all__ = [
+    "Method",
+    "FunctionSpec",
+    "FUNCTIONS",
+    "get_function",
+    "BASE_METHODS",
+    "METHOD_SUPPORT",
+    "supports",
+    "supported_methods",
+    "supported_functions",
+    "AccuracyReport",
+    "measure",
+    "rmse",
+    "max_abs_error",
+]

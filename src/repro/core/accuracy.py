@@ -1,0 +1,74 @@
+"""Accuracy metrics used throughout the evaluation (Section 4.1.1).
+
+The paper reports root-mean-square absolute error (RMSE) against the host's
+standard math library, and notes that maximum absolute error and ULP error
+show the same trends.  All three are implemented here against the float64
+reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.float_bits import ulp_spacing
+
+__all__ = ["AccuracyReport", "rmse", "max_abs_error", "mean_ulp_error", "measure"]
+
+
+def rmse(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Root-mean-square absolute error."""
+    a = np.asarray(approx, dtype=np.float64)
+    e = np.asarray(exact, dtype=np.float64)
+    return float(np.sqrt(np.mean((a - e) ** 2)))
+
+
+def max_abs_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Maximum absolute error."""
+    a = np.asarray(approx, dtype=np.float64)
+    e = np.asarray(exact, dtype=np.float64)
+    return float(np.max(np.abs(a - e)))
+
+
+def mean_ulp_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Mean error in units of last place of the exact value (float32 ULPs)."""
+    a = np.asarray(approx, dtype=np.float64)
+    e = np.asarray(exact, dtype=np.float64)
+    spacing = np.asarray(ulp_spacing(e.astype(np.float32)), dtype=np.float64)
+    spacing = np.where(spacing == 0, np.finfo(np.float32).tiny, spacing)
+    return float(np.mean(np.abs(a - e) / spacing))
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """All three accuracy metrics for one method/function evaluation."""
+
+    rmse: float
+    max_abs_error: float
+    mean_ulp_error: float
+    n_points: int
+
+    def __str__(self) -> str:
+        return (
+            f"RMSE={self.rmse:.3e} max|err|={self.max_abs_error:.3e} "
+            f"ULP={self.mean_ulp_error:.2f} (n={self.n_points})"
+        )
+
+
+def measure(
+    approx_fn: Callable[[np.ndarray], np.ndarray],
+    reference_fn: Callable[[np.ndarray], np.ndarray],
+    inputs: np.ndarray,
+) -> AccuracyReport:
+    """Evaluate both implementations over ``inputs`` and compare."""
+    x = np.asarray(inputs)
+    approx = np.asarray(approx_fn(x), dtype=np.float64)
+    exact = np.asarray(reference_fn(np.asarray(x, dtype=np.float64)))
+    return AccuracyReport(
+        rmse=rmse(approx, exact),
+        max_abs_error=max_abs_error(approx, exact),
+        mean_ulp_error=mean_ulp_error(approx, exact),
+        n_points=int(x.size),
+    )

@@ -1,0 +1,30 @@
+"""CORDIC implementations: circular and hyperbolic modes, plus Table 1 data."""
+
+from repro.core.cordic.circular import CordicCircular
+from repro.core.cordic.fixed import CordicCircularFixed
+from repro.core.cordic.hyperbolic import ROTATION_BOUND, CordicHyperbolic
+from repro.core.cordic.vectoring import CordicArctan
+from repro.core.cordic.tables import (
+    TABLE1,
+    Table1Row,
+    circular_angle_table,
+    circular_gain,
+    hyperbolic_angle_table,
+    hyperbolic_gain,
+    hyperbolic_schedule,
+)
+
+__all__ = [
+    "CordicCircular",
+    "CordicCircularFixed",
+    "CordicArctan",
+    "CordicHyperbolic",
+    "ROTATION_BOUND",
+    "TABLE1",
+    "Table1Row",
+    "circular_angle_table",
+    "circular_gain",
+    "hyperbolic_angle_table",
+    "hyperbolic_gain",
+    "hyperbolic_schedule",
+]

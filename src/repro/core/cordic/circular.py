@@ -1,0 +1,157 @@
+"""Circular-mode CORDIC for sin, cos, and tan (Section 3.1, Figure 3).
+
+The implementation follows the paper's six-step pipeline: the input angle
+(already folded to ``[0, 2*pi)`` by range reduction when enabled) is
+converted to s3.28 fixed point and multiplied once by ``2/pi`` so that the
+two bits above the fraction *are* the quadrant and the fraction *is* the
+residual angle in quarter-turn units — the quadrant split costs two bit
+operations instead of float comparisons.  The rotation vector (x, y) then
+iterates in float32 while the angle accumulator z iterates in fixed point
+(it is only added to and compared against zero, both native integer ops).
+
+Per-iteration cost: two ``ldexp``, two float adds, one table load, one
+integer add, and a sign test — which is why CORDIC's cycle count grows
+linearly with accuracy in Figure 5 while LUT methods stay flat.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.cordic.tables import (
+    CIRCULAR_ANGLE_FRAC_BITS,
+    circular_angle_table,
+    circular_gain,
+)
+from repro.core.functions.registry import FunctionSpec
+from repro.core.ldexp import ldexpf_vec
+from repro.core.method import Method
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q3_28, fx_mul
+from repro.isa.counter import CycleCounter
+
+__all__ = ["CordicCircular"]
+
+_F32 = np.float32
+_FRAC = CIRCULAR_ANGLE_FRAC_BITS
+_FRAC_MASK = (1 << _FRAC) - 1
+
+#: 2/pi in Q3.28 raw form (used by the single quadrant-split multiply).
+_TWO_OVER_PI_RAW = int(round((2.0 / math.pi) * (1 << _FRAC)))
+
+
+class CordicCircular(Method):
+    """CORDIC rotation mode computing sin/cos/tan of one angle."""
+
+    method_name = "cordic"
+
+    def __init__(self, spec: FunctionSpec, iterations: int = 24, **kwargs):
+        if spec.name not in ("sin", "cos", "tan"):
+            raise ConfigurationError(
+                f"circular CORDIC computes sin/cos/tan, not {spec.name!r}"
+            )
+        super().__init__(spec, **kwargs)
+        if iterations < 1:
+            raise ConfigurationError("CORDIC needs at least one iteration")
+        self.iterations = iterations
+        self._angles = np.empty(0, dtype=np.int64)
+        self._x0 = _F32(0.0)
+
+    # ------------------------------------------------------------------
+    # host side
+
+    def _build(self) -> None:
+        self._angles = circular_angle_table(self.iterations)
+        self._x0 = _F32(circular_gain(self.iterations))
+
+    def table_bytes(self) -> int:
+        # Angle table (4 bytes per iteration) plus the gain and 2/pi constants.
+        return self.iterations * 4 + 8
+
+    def host_entries(self) -> int:
+        return self.iterations
+
+    # ------------------------------------------------------------------
+    # PIM side, traced
+
+    def _split_quadrant(self, ctx: CycleCounter, u) -> Tuple[int, int]:
+        """One fixed multiply by 2/pi; top bits = quadrant, fraction = angle."""
+        a = ctx.f2fx(u, _FRAC)
+        q = fx_mul(ctx, Q3_28, a, _TWO_OVER_PI_RAW)
+        quad = ctx.iand(ctx.shr(q, _FRAC), 3)
+        z = ctx.iand(q, _FRAC_MASK)
+        return quad, z
+
+    def _rotate(self, ctx: CycleCounter, z: int) -> Tuple[np.float32, np.float32]:
+        """Drive z (Q0.28 quarter-turns, in [0, 1)) to zero; return (cos, sin)."""
+        x = self._x0
+        y = _F32(0.0)
+        for i in range(self.iterations):
+            t = int(self._load(ctx, self._angles, i))
+            xs = ctx.ldexp(x, -i)
+            ys = ctx.ldexp(y, -i)
+            ctx.branch()
+            if ctx.icmp(z, 0) >= 0:
+                x, y = ctx.fsub(x, ys), ctx.fadd(y, xs)
+                z = ctx.isub(z, t)
+            else:
+                x, y = ctx.fadd(x, ys), ctx.fsub(y, xs)
+                z = ctx.iadd(z, t)
+        return x, y
+
+    def core_eval(self, ctx: CycleCounter, u):
+        quad, z = self._split_quadrant(ctx, u)
+        c, s = self._rotate(ctx, z)
+        ctx.branch()  # quadrant dispatch
+        if self.spec.name == "sin":
+            return (s, c, ctx.fneg(s), ctx.fneg(c))[quad]
+        if self.spec.name == "cos":
+            return (c, ctx.fneg(s), ctx.fneg(c), s)[quad]
+        # tan: even quadrants give s/c, odd quadrants give -c/s.
+        if quad & 1:
+            return ctx.fdiv(ctx.fneg(c), s)
+        return ctx.fdiv(s, c)
+
+    # ------------------------------------------------------------------
+    # PIM side, vectorized twin
+
+    def _split_quadrant_vec(self, u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        a = np.round(u.astype(np.float64) * (1 << _FRAC)).astype(np.int64)
+        q = (a * _TWO_OVER_PI_RAW) >> _FRAC
+        quad = (q >> _FRAC) & 3
+        z = q & _FRAC_MASK
+        return quad, z
+
+    def _rotate_vec(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x = np.full(z.shape, self._x0, dtype=_F32)
+        y = np.zeros(z.shape, dtype=_F32)
+        for i in range(self.iterations):
+            t = int(self._angles[i])
+            xs = ldexpf_vec(x, -i)
+            ys = ldexpf_vec(y, -i)
+            pos = z >= 0
+            x_pos = (x - ys).astype(_F32)
+            x_neg = (x + ys).astype(_F32)
+            y_pos = (y + xs).astype(_F32)
+            y_neg = (y - xs).astype(_F32)
+            x = np.where(pos, x_pos, x_neg)
+            y = np.where(pos, y_pos, y_neg)
+            z = np.where(pos, z - t, z + t)
+        return x, y
+
+    def core_eval_vec(self, u):
+        u = np.asarray(u, dtype=_F32)
+        quad, z = self._split_quadrant_vec(u)
+        c, s = self._rotate_vec(z)
+        if self.spec.name == "sin":
+            choices = [s, c, (-s).astype(_F32), (-c).astype(_F32)]
+        elif self.spec.name == "cos":
+            choices = [c, (-s).astype(_F32), (-c).astype(_F32), s]
+        else:  # tan
+            even = (s / c).astype(_F32)
+            odd = ((-c).astype(_F32) / s).astype(_F32)
+            return np.where(quad & 1 == 0, even, odd).astype(_F32)
+        return np.select([quad == 0, quad == 1, quad == 2, quad == 3], choices)

@@ -1,0 +1,155 @@
+"""CORDIC angle tables, gains, and iteration schedules (Table 1, Section 2.2.1).
+
+The circular mode rotates by ``atan(2^-i)`` with stretching factor
+``sqrt(1 + 2^-2i)``; the hyperbolic mode rotates by ``atanh(2^-i)`` with
+factor ``sqrt(1 - 2^-2i)`` and must *repeat* iterations 4, 13, 40, ... to
+converge; the linear mode rotates by ``2^-i`` with no stretching.
+
+Angle accumulators run in fixed point on the PIM core (they are only ever
+compared against zero and added/subtracted, which are native single-cycle
+integer ops), so the tables are generated here as integer raw words:
+
+* circular angles in *quarter-turn* units (``atan(2^-i) / (pi/2)``), Q0.28 —
+  the quarter-turn scaling folds the quadrant split of Figure 3 into two bit
+  operations;
+* hyperbolic angles in radians, Q1.30.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CIRCULAR_ANGLE_FRAC_BITS",
+    "HYPERBOLIC_ANGLE_FRAC_BITS",
+    "circular_angle_table",
+    "circular_gain",
+    "hyperbolic_schedule",
+    "hyperbolic_angle_table",
+    "hyperbolic_gain",
+    "Table1Row",
+    "TABLE1",
+]
+
+#: Circular angles are stored in quarter-turn units with 28 fraction bits.
+CIRCULAR_ANGLE_FRAC_BITS = 28
+
+#: Hyperbolic angles are stored in radians with 30 fraction bits.
+HYPERBOLIC_ANGLE_FRAC_BITS = 30
+
+
+def circular_angle_table(iterations: int) -> np.ndarray:
+    """Quarter-turn ``atan(2^-i)`` angles as Q0.28 raw words, i = 0..n-1."""
+    if iterations < 1:
+        raise ConfigurationError("CORDIC needs at least one iteration")
+    i = np.arange(iterations, dtype=np.float64)
+    quarter_turns = np.arctan(2.0 ** -i) / (math.pi / 2.0)
+    return np.round(quarter_turns * (1 << CIRCULAR_ANGLE_FRAC_BITS)).astype(np.int64)
+
+
+def circular_gain(iterations: int, start: int = 0) -> float:
+    """``prod 1/sqrt(1 + 2^-2i)`` over i = start..start+n-1 (the K factor).
+
+    Starting the rotation vector at this value makes the final vector land
+    exactly on (cos, sin) without a post-multiply.
+    """
+    i = np.arange(start, start + iterations, dtype=np.float64)
+    return float(np.prod(1.0 / np.sqrt(1.0 + 4.0 ** -i)))
+
+
+def hyperbolic_schedule(iterations: int) -> List[int]:
+    """The hyperbolic iteration index sequence with convergence repeats.
+
+    Indices start at 1; indices 4, 13, 40, 121, ... (``3k+1``) are executed
+    twice.  ``iterations`` counts executed steps, i.e. the length of the
+    returned list.
+    """
+    if iterations < 1:
+        raise ConfigurationError("CORDIC needs at least one iteration")
+    schedule: List[int] = []
+    i = 1
+    next_repeat = 4
+    while len(schedule) < iterations:
+        schedule.append(i)
+        if i == next_repeat and len(schedule) < iterations:
+            schedule.append(i)  # the repeated step
+            next_repeat = 3 * next_repeat + 1
+        i += 1
+    return schedule[:iterations]
+
+
+def hyperbolic_angle_table(schedule: List[int]) -> np.ndarray:
+    """``atanh(2^-i)`` in radians as Q1.30 raw words, following ``schedule``."""
+    i = np.asarray(schedule, dtype=np.float64)
+    angles = np.arctanh(2.0 ** -i)
+    return np.round(angles * (1 << HYPERBOLIC_ANGLE_FRAC_BITS)).astype(np.int64)
+
+
+def hyperbolic_gain(schedule: List[int]) -> float:
+    """``prod sqrt(1 - 2^-2i)`` over the schedule (the hyperbolic K factor)."""
+    i = np.asarray(schedule, dtype=np.float64)
+    return float(np.prod(np.sqrt(1.0 - 4.0 ** -i)))
+
+
+# ----------------------------------------------------------------------
+# Table 1 of the paper, as verifiable data.
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1: a CORDIC mode's defining quantities."""
+
+    mode: str
+    #: Rotation matrix for iteration ``i`` and direction ``d`` (+1/-1).
+    matrix: Callable[[int, int], np.ndarray]
+    #: Rotation angle of iteration ``i``.
+    angle: Callable[[int], float]
+    #: Per-iteration stretching factor ``k_i``.
+    stretch: Callable[[int], float]
+    functions: Tuple[str, ...]
+
+
+def _circular_matrix(i: int, d: int) -> np.ndarray:
+    s = d * 2.0 ** -i
+    return np.array([[1.0, -s], [s, 1.0]])
+
+
+def _hyperbolic_matrix(i: int, d: int) -> np.ndarray:
+    s = d * 2.0 ** -i
+    return np.array([[1.0, s], [s, 1.0]])
+
+
+def _linear_matrix(i: int, d: int) -> np.ndarray:
+    s = d * 2.0 ** -i
+    return np.array([[1.0, 0.0], [s, 1.0]])
+
+
+TABLE1: Tuple[Table1Row, ...] = (
+    Table1Row(
+        mode="circular",
+        matrix=_circular_matrix,
+        angle=lambda i: math.atan(2.0 ** -i),
+        stretch=lambda i: math.sqrt(1.0 + 4.0 ** -i),
+        functions=("sin", "cos", "tan", "arctan"),
+    ),
+    Table1Row(
+        mode="hyperbolic",
+        matrix=_hyperbolic_matrix,
+        angle=lambda i: math.atanh(2.0 ** -i),
+        stretch=lambda i: math.sqrt(1.0 - 4.0 ** -i),
+        functions=("sinh", "cosh", "tanh", "exp", "log", "sqrt", "atanh"),
+    ),
+    Table1Row(
+        mode="linear",
+        matrix=_linear_matrix,
+        angle=lambda i: 2.0 ** -i,
+        stretch=lambda i: 1.0,
+        functions=("multiplication", "division"),
+    ),
+)

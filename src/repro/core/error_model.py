@@ -1,0 +1,102 @@
+"""Analytic accuracy models for the implementation methods.
+
+Section 2.2.2 of the paper explains *why* the methods have the accuracy they
+do: a non-interpolated fuzzy LUT's error follows the function's first
+derivative times the cell width, an interpolated one's follows the second
+derivative times the width squared, and CORDIC's follows its residual angle.
+This module turns those arguments into quantitative predictions:
+
+* nearest-entry LUT:   ``rmse ~ rms(f') * h / sqrt(12)``
+  (the residual ``x - a_inv(a(x))`` is uniform on ``(-h/2, h/2)``);
+* interpolated LUT:    ``rmse ~ rms(f'') * h^2 / sqrt(120)``
+  (linear-interp error ``f''(x) h^2 t(1-t)/2``, RMS over ``t`` in [0,1]);
+* CORDIC rotation:     ``rmse ~ rms(f') * resolution / sqrt(3)``
+  with ``resolution = atan(2^-(n-1))`` (the final residual angle bound);
+
+all floored by the float32 representation of the stored values,
+``rmse >= rms(ulp(f)) / sqrt(12)``.
+
+The property-based tests assert that *measured* RMSE stays within a small
+factor of these predictions across methods, functions, and table sizes —
+a strong internal-consistency check on both the implementations and the
+models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.core.float_bits import ulp_spacing
+from repro.core.functions.registry import FunctionSpec
+
+__all__ = [
+    "rms_derivative",
+    "float32_floor",
+    "predict_lut_rmse",
+    "predict_interpolated_lut_rmse",
+    "predict_cordic_rmse",
+]
+
+_SAMPLES = 4096
+
+
+def _grid(lo: float, hi: float, n: int = _SAMPLES) -> np.ndarray:
+    # Stay strictly inside the interval so one-sided derivatives behave.
+    pad = (hi - lo) * 1e-6
+    return np.linspace(lo + pad, hi - pad, n)
+
+
+def rms_derivative(reference: Callable[[np.ndarray], np.ndarray],
+                   interval: Tuple[float, float], order: int = 1) -> float:
+    """RMS of the first or second derivative over ``interval`` (numeric)."""
+    lo, hi = interval
+    x = _grid(lo, hi)
+    h = (hi - lo) / (_SAMPLES * 8)
+    f = reference
+    if order == 1:
+        d = (f(x + h) - f(x - h)) / (2 * h)
+    elif order == 2:
+        d = (f(x + h) - 2 * f(x) + f(x - h)) / (h * h)
+    else:
+        raise ValueError("order must be 1 or 2")
+    return float(np.sqrt(np.mean(np.square(d))))
+
+
+def float32_floor(reference: Callable[[np.ndarray], np.ndarray],
+                  interval: Tuple[float, float]) -> float:
+    """The RMSE floor from storing values as float32 (half-ULP rounding)."""
+    lo, hi = interval
+    values = reference(_grid(lo, hi)).astype(np.float32)
+    ulps = np.asarray(ulp_spacing(values), dtype=np.float64)
+    return float(np.sqrt(np.mean(np.square(ulps))) / math.sqrt(12.0))
+
+
+def predict_lut_rmse(spec: FunctionSpec, cell_width: float,
+                     interval: Tuple[float, float] = None) -> float:
+    """Predicted RMSE of a nearest-entry (non-interpolated) uniform LUT."""
+    iv = interval or spec.natural_range
+    slope = rms_derivative(spec.reference, iv, order=1)
+    model = slope * cell_width / math.sqrt(12.0)
+    return max(model, float32_floor(spec.reference, iv))
+
+
+def predict_interpolated_lut_rmse(spec: FunctionSpec, cell_width: float,
+                                  interval: Tuple[float, float] = None) -> float:
+    """Predicted RMSE of a linearly interpolated uniform LUT."""
+    iv = interval or spec.natural_range
+    curvature = rms_derivative(spec.reference, iv, order=2)
+    model = curvature * cell_width ** 2 / math.sqrt(120.0)
+    return max(model, float32_floor(spec.reference, iv))
+
+
+def predict_cordic_rmse(spec: FunctionSpec, iterations: int,
+                        interval: Tuple[float, float] = None) -> float:
+    """Predicted RMSE of rotation-mode CORDIC after ``iterations`` steps."""
+    iv = interval or spec.natural_range
+    slope = rms_derivative(spec.reference, iv, order=1)
+    resolution = math.atan(2.0 ** -(iterations - 1))
+    model = slope * resolution / math.sqrt(3.0)
+    return max(model, float32_floor(spec.reference, iv))

@@ -1,0 +1,140 @@
+"""Bit-level tools for IEEE-754 single-precision (float32) values.
+
+The UPMEM DPU has no floating-point hardware: floats are 32-bit words that
+software interprets.  TransPimLib's L-LUT and D-LUT methods exploit this by
+operating on the raw bit pattern (exponent adds for ``ldexp``, direct bit
+slicing for D-LUT addresses).  This module provides the primitive view/cast
+operations those methods are built from, in both scalar and vectorized form.
+
+All scalar functions accept and return Python ints / ``np.float32`` and are
+exact; vectorized twins accept numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "EXP_BIAS",
+    "EXP_BITS",
+    "MANT_BITS",
+    "float_to_bits",
+    "bits_to_float",
+    "exponent_field",
+    "mantissa_field",
+    "sign_bit",
+    "biased_exponent",
+    "unbiased_exponent",
+    "compose_float",
+    "is_subnormal",
+    "ulp_spacing",
+]
+
+#: Number of mantissa (fraction) bits in float32.
+MANT_BITS = 23
+#: Number of exponent bits in float32.
+EXP_BITS = 8
+#: Exponent bias in float32.
+EXP_BIAS = 127
+
+_U32 = np.uint32
+_F32 = np.float32
+
+ArrayLike = Union[np.ndarray, float, int]
+
+
+def float_to_bits(x: ArrayLike) -> Union[int, np.ndarray]:
+    """Reinterpret a float32 value (or array) as its uint32 bit pattern."""
+    arr = np.asarray(x, dtype=_F32)
+    bits = arr.view(_U32)
+    if bits.ndim == 0:
+        return int(bits)
+    return bits
+
+
+def bits_to_float(bits: ArrayLike) -> Union[np.float32, np.ndarray]:
+    """Reinterpret a uint32 bit pattern (or array) as a float32 value."""
+    arr = np.asarray(bits, dtype=_U32)
+    val = arr.view(_F32)
+    if val.ndim == 0:
+        return _F32(val)
+    return val
+
+
+def sign_bit(x: ArrayLike) -> Union[int, np.ndarray]:
+    """Return the sign bit (0 or 1) of a float32 value or array."""
+    bits = np.asarray(float_to_bits(x))
+    out = (bits >> np.uint32(31)) & np.uint32(1)
+    if out.ndim == 0:
+        return int(out)
+    return out
+
+
+def exponent_field(x: ArrayLike) -> Union[int, np.ndarray]:
+    """Return the raw (biased) 8-bit exponent field of a float32 value."""
+    bits = np.asarray(float_to_bits(x))
+    out = (bits >> np.uint32(MANT_BITS)) & np.uint32(0xFF)
+    if out.ndim == 0:
+        return int(out)
+    return out
+
+
+# ``biased_exponent`` is the conventional name for the raw field; keep both.
+biased_exponent = exponent_field
+
+
+def unbiased_exponent(x: ArrayLike) -> Union[int, np.ndarray]:
+    """Return the unbiased exponent *e* such that ``|x| = m * 2**e``, m in [1,2).
+
+    Subnormals report the exponent of the smallest normal (-126), matching the
+    convention used by the D-LUT address generator.
+    """
+    raw = np.asarray(exponent_field(x), dtype=np.int32)
+    out = np.where(raw == 0, np.int32(1 - EXP_BIAS), raw - np.int32(EXP_BIAS))
+    if out.ndim == 0:
+        return int(out)
+    return out
+
+
+def mantissa_field(x: ArrayLike) -> Union[int, np.ndarray]:
+    """Return the raw 23-bit mantissa (fraction) field of a float32 value."""
+    bits = np.asarray(float_to_bits(x))
+    out = bits & np.uint32((1 << MANT_BITS) - 1)
+    if out.ndim == 0:
+        return int(out)
+    return out
+
+
+def compose_float(
+    sign: ArrayLike, exponent: ArrayLike, mantissa: ArrayLike
+) -> Union[np.float32, np.ndarray]:
+    """Assemble a float32 from sign bit, raw exponent field, and mantissa field."""
+    s = np.asarray(sign, dtype=_U32)
+    e = np.asarray(exponent, dtype=_U32)
+    m = np.asarray(mantissa, dtype=_U32)
+    bits = (s << np.uint32(31)) | (e << np.uint32(MANT_BITS)) | (
+        m & np.uint32((1 << MANT_BITS) - 1)
+    )
+    return bits_to_float(bits)
+
+
+def is_subnormal(x: ArrayLike) -> Union[bool, np.ndarray]:
+    """True when the value is subnormal (raw exponent 0, nonzero mantissa)."""
+    raw = np.asarray(exponent_field(x))
+    mant = np.asarray(mantissa_field(x))
+    out = (raw == 0) & (mant != 0)
+    if out.ndim == 0:
+        return bool(out)
+    return out
+
+
+def ulp_spacing(x: ArrayLike) -> Union[np.float32, np.ndarray]:
+    """Return the unit-in-the-last-place spacing at ``x`` (float32)."""
+    arr = np.asarray(x, dtype=_F32)
+    nxt = np.nextafter(np.abs(arr), np.float32(np.inf), dtype=_F32)
+    out = (nxt - np.abs(arr)).astype(_F32)
+    if out.ndim == 0:
+        return _F32(out)
+    return out

@@ -1,0 +1,24 @@
+"""Function registry and the Table 2 support matrix."""
+
+from repro.core.functions.registry import FUNCTIONS, FunctionSpec, get_function, reference
+from repro.core.functions.support import (
+    BASE_METHODS,
+    METHOD_SUPPORT,
+    check_support,
+    supported_functions,
+    supported_methods,
+    supports,
+)
+
+__all__ = [
+    "FUNCTIONS",
+    "FunctionSpec",
+    "get_function",
+    "reference",
+    "BASE_METHODS",
+    "METHOD_SUPPORT",
+    "supports",
+    "check_support",
+    "supported_methods",
+    "supported_functions",
+]

@@ -1,0 +1,302 @@
+"""Registry of target functions and their float64 reference implementations.
+
+Each :class:`FunctionSpec` records the ground-truth implementation (used for
+table generation on the host and for accuracy measurement), the natural
+approximation interval that lookup tables cover, the microbenchmark input
+domain used in the paper's evaluation, and which range-extension identity
+applies (Section 2.2.3).
+
+The registry also encodes Table 2 of the paper — which implementation methods
+support which functions — via :func:`supported_methods` in
+:mod:`repro.core.functions.support`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+try:  # scipy is available in the evaluation environment; keep a fallback.
+    from scipy.special import erf as _erf_impl
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _erf_impl = np.vectorize(math.erf)
+_erf = lambda x: _erf_impl(x)  # noqa: E731 - rebound below as a spec reference
+
+__all__ = [
+    "FunctionSpec",
+    "FUNCTIONS",
+    "get_function",
+    "reference",
+    "TWO_PI",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit: ``x * Phi(x)`` (exact erf form)."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * 0.5 * (1.0 + _erf(x / math.sqrt(2.0)))
+
+
+def _cndf(x: np.ndarray) -> np.ndarray:
+    """Cumulative normal distribution function ``Phi(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * (1.0 + _erf(x / math.sqrt(2.0)))
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid ``1 / (1 + exp(-x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _erf(x_arr: np.ndarray) -> np.ndarray:
+    """Gauss error function."""
+    return np.asarray(_erf_impl(np.asarray(x_arr, dtype=np.float64)))
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    """softplus(x) = ln(1 + e^x), computed stably."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.logaddexp(0.0, x)
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish: x * sigmoid(x)."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def _elu(x: np.ndarray) -> np.ndarray:
+    """ELU (alpha=1): x for x >= 0, e^x - 1 below."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x >= 0, x, np.expm1(x))
+
+
+def _rsqrt(x: np.ndarray) -> np.ndarray:
+    """Reciprocal square root."""
+    return 1.0 / np.sqrt(np.asarray(x, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A target function together with its approximation geometry."""
+
+    name: str
+    #: Ground-truth implementation over float64 arrays.
+    reference: Callable[[np.ndarray], np.ndarray]
+    #: Interval a lookup table covers after range reduction, [lo, hi).
+    natural_range: Tuple[float, float]
+    #: Input interval of the paper's microbenchmarks (uniform random inputs).
+    bench_domain: Tuple[float, float]
+    #: Range-extension identity: one of None, "periodic", "quadrant",
+    #: "exp_split", "log_split", "sqrt_split", "odd_symmetric".
+    extension: Optional[str]
+    #: Period for periodic functions (2*pi for trigonometric functions).
+    period: Optional[float] = None
+    #: True when f(-x) = -f(x); lets tables cover only x >= 0.
+    odd: bool = False
+
+    def ref_scalar(self, x: float) -> float:
+        """Evaluate the reference at a scalar point."""
+        return float(self.reference(np.asarray([x], dtype=np.float64))[0])
+
+
+FUNCTIONS: Dict[str, FunctionSpec] = {
+    "sin": FunctionSpec(
+        name="sin",
+        reference=np.sin,
+        natural_range=(0.0, TWO_PI),
+        bench_domain=(0.0, TWO_PI),
+        extension="periodic",
+        period=TWO_PI,
+        odd=True,
+    ),
+    "cos": FunctionSpec(
+        name="cos",
+        reference=np.cos,
+        natural_range=(0.0, TWO_PI),
+        bench_domain=(0.0, TWO_PI),
+        extension="periodic",
+        period=TWO_PI,
+    ),
+    "tan": FunctionSpec(
+        name="tan",
+        reference=np.tan,
+        natural_range=(0.0, TWO_PI),
+        bench_domain=(0.0, TWO_PI),
+        extension="periodic",
+        period=TWO_PI,
+        odd=True,
+    ),
+    "sinh": FunctionSpec(
+        name="sinh",
+        reference=np.sinh,
+        natural_range=(0.0, 4.0),
+        bench_domain=(-4.0, 4.0),
+        extension="odd_symmetric",
+        odd=True,
+    ),
+    "cosh": FunctionSpec(
+        name="cosh",
+        reference=np.cosh,
+        natural_range=(0.0, 4.0),
+        bench_domain=(-4.0, 4.0),
+        extension="odd_symmetric",  # even: |x| reduction without sign flip
+    ),
+    "tanh": FunctionSpec(
+        name="tanh",
+        reference=np.tanh,
+        natural_range=(0.0, 8.0),
+        bench_domain=(-8.0, 8.0),
+        extension="odd_symmetric",
+        odd=True,
+    ),
+    "exp": FunctionSpec(
+        name="exp",
+        reference=np.exp,
+        natural_range=(0.0, 0.6931471805599453),  # [0, ln2): the exp_split residual
+        bench_domain=(-10.0, 10.0),
+        extension="exp_split",
+    ),
+    "log": FunctionSpec(
+        name="log",
+        reference=np.log,
+        natural_range=(1.0, 2.0),
+        bench_domain=(0.01, 100.0),
+        extension="log_split",
+    ),
+    "sqrt": FunctionSpec(
+        name="sqrt",
+        reference=np.sqrt,
+        natural_range=(0.5, 2.0),
+        bench_domain=(0.01, 100.0),
+        extension="sqrt_split",
+    ),
+    "gelu": FunctionSpec(
+        name="gelu",
+        reference=_gelu,
+        natural_range=(0.0, 8.0),
+        bench_domain=(-8.0, 8.0),
+        extension="odd_symmetric",  # gelu(-x) = gelu(x) - x
+    ),
+    "sigmoid": FunctionSpec(
+        name="sigmoid",
+        reference=_sigmoid,
+        natural_range=(0.0, 16.0),
+        bench_domain=(-16.0, 16.0),
+        extension="odd_symmetric",  # sigmoid(-x) = 1 - sigmoid(x)
+    ),
+    "cndf": FunctionSpec(
+        name="cndf",
+        reference=_cndf,
+        natural_range=(0.0, 6.0),
+        bench_domain=(-6.0, 6.0),
+        extension="odd_symmetric",  # Phi(-x) = 1 - Phi(x)
+    ),
+    # ------------------------------------------------------------------
+    # Extensions beyond the paper's Table 2 (same machinery; see DESIGN.md).
+    "atan": FunctionSpec(
+        name="atan",
+        reference=np.arctan,
+        natural_range=(0.0, 1.0001),
+        bench_domain=(-50.0, 50.0),
+        extension="atan_recip",  # atan(x) = pi/2 - atan(1/x) for x > 1
+        odd=True,
+    ),
+    "atanh": FunctionSpec(
+        name="atanh",
+        reference=np.arctanh,
+        natural_range=(0.0, 0.9502),
+        bench_domain=(-0.95, 0.95),
+        extension="odd_symmetric",
+        odd=True,
+    ),
+    "erf": FunctionSpec(
+        name="erf",
+        reference=_erf,
+        natural_range=(0.0, 4.0),
+        bench_domain=(-4.0, 4.0),
+        extension="odd_symmetric",
+        odd=True,
+    ),
+    "log2": FunctionSpec(
+        name="log2",
+        reference=np.log2,
+        natural_range=(1.0, 2.0),
+        bench_domain=(0.01, 100.0),
+        extension="log_split",
+    ),
+    "log10": FunctionSpec(
+        name="log10",
+        reference=np.log10,
+        natural_range=(1.0, 2.0),
+        bench_domain=(0.01, 100.0),
+        extension="log_split",
+    ),
+    "rsqrt": FunctionSpec(
+        name="rsqrt",
+        reference=_rsqrt,
+        natural_range=(0.5, 2.0),
+        bench_domain=(0.01, 100.0),
+        extension="rsqrt_split",
+    ),
+    "softplus": FunctionSpec(
+        name="softplus",
+        reference=_softplus,
+        natural_range=(0.0, 16.0),
+        bench_domain=(-16.0, 16.0),
+        extension="odd_symmetric",  # softplus(-x) = softplus(x) - x
+    ),
+    "silu": FunctionSpec(
+        name="silu",
+        reference=_silu,
+        natural_range=(0.0, 16.0),
+        bench_domain=(-16.0, 16.0),
+        extension="odd_symmetric",  # silu(-x) = silu(x) - x
+    ),
+    "asin": FunctionSpec(
+        name="asin",
+        reference=np.arcsin,
+        natural_range=(0.0, 0.995),
+        bench_domain=(-0.99, 0.99),
+        extension="odd_symmetric",
+        odd=True,
+    ),
+    "acos": FunctionSpec(
+        name="acos",
+        reference=np.arccos,
+        natural_range=(0.0, 0.995),
+        bench_domain=(-0.99, 0.99),
+        extension="odd_symmetric",  # acos(-x) = pi - acos(x)
+    ),
+    "elu": FunctionSpec(
+        name="elu",
+        reference=_elu,
+        natural_range=(-16.0, 0.0001),
+        bench_domain=(-8.0, 8.0),
+        extension="reflect_negative",  # positive inputs pass through
+    ),
+}
+
+
+def get_function(name: str) -> FunctionSpec:
+    """Look up a function spec by name, with a helpful error."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(FUNCTIONS))
+        raise ConfigurationError(
+            f"unknown function {name!r}; known functions: {known}"
+        ) from None
+
+
+def reference(name: str, x: np.ndarray) -> np.ndarray:
+    """Evaluate the float64 reference for ``name`` over ``x``."""
+    return get_function(name).reference(np.asarray(x, dtype=np.float64))

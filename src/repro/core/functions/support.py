@@ -1,0 +1,129 @@
+"""The method-by-function support matrix (Table 2 of the paper, extended).
+
+Eight base methods; interpolation is a variant flag on the LUT families and
+fixed-point a variant flag on L-LUT.  Not every pairing makes sense:
+
+* CORDIC covers the functions with circular/hyperbolic rotation or vectoring
+  identities (trigonometric/hyperbolic functions, exp, log/log2/log10, sqrt,
+  atan) but not erf-derived functions (GELU, CNDF, sigmoid, erf) and not
+  atanh (whose arguments near 1 exceed the hyperbolic vectoring convergence
+  bound).
+* M-LUT / L-LUT are generic fuzzy tables and support every function.
+* Fixed-point L-LUT requires inputs *and* outputs representable in s3.28
+  (magnitude < 8), which excludes tan (unbounded output), sinh/cosh
+  (outputs up to ~27 over the natural range), and sigmoid/softplus/silu/elu
+  (natural input ranges reaching 16).
+* D-LUT / DL-LUT space entries like the positive float grid (denser near
+  zero), which suits saturating, approximately-linear functions but is
+  unusable for periodic functions and for ELU's negative core interval.
+* ``cordic_fx`` is this reproduction's extension: the whole rotation in
+  s1.30 fixed point (shift-add only), applicable where a quarter-turn
+  angle domain exists (sin, cos).
+
+Beyond the paper's twelve functions, the matrix carries eleven extensions
+(atan, atanh, asin, acos, erf, log2, log10, rsqrt, softplus, silu, elu)
+built from the same reducers and tables; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.errors import UnsupportedFunctionError
+
+__all__ = [
+    "BASE_METHODS",
+    "METHOD_SUPPORT",
+    "PAPER_FUNCTIONS",
+    "EXTENSION_FUNCTIONS",
+    "supports",
+    "check_support",
+    "supported_methods",
+    "supported_functions",
+]
+
+#: The paper's eight implementation methods (Section 3, Table 2).
+BASE_METHODS: List[str] = [
+    "cordic",
+    "cordic_lut",
+    "mlut",
+    "mlut_i",
+    "llut",
+    "llut_i",
+    "dlut",
+    "dllut",
+]
+
+#: Functions evaluated in the paper.
+PAPER_FUNCTIONS = frozenset(
+    {"sin", "cos", "tan", "sinh", "cosh", "tanh", "exp", "log", "sqrt",
+     "gelu", "sigmoid", "cndf"}
+)
+
+#: This reproduction's additional functions (same machinery).
+EXTENSION_FUNCTIONS = frozenset(
+    {"atan", "atanh", "erf", "log2", "log10", "rsqrt",
+     "softplus", "silu", "elu", "asin", "acos"}
+)
+
+_ALL_FUNCS = PAPER_FUNCTIONS | EXTENSION_FUNCTIONS
+
+_CORDIC_FUNCS = frozenset(
+    {"sin", "cos", "tan", "sinh", "cosh", "tanh", "exp",
+     "log", "log2", "log10", "sqrt", "atan"}
+)
+_NON_PERIODIC = _ALL_FUNCS - {"sin", "cos", "tan", "elu"}
+_S3_28_SAFE = _ALL_FUNCS - {
+    "tan", "sinh", "cosh", "sigmoid", "softplus", "silu", "elu"
+}
+
+METHOD_SUPPORT: Dict[str, FrozenSet[str]] = {
+    "cordic": _CORDIC_FUNCS,
+    # The LUT-skip applies to rotation-mode CORDIC; log/sqrt/atan use
+    # vectoring mode, whose rotation directions depend on the data vector,
+    # so no prefix can be pre-resolved from the angle alone.
+    "cordic_lut": _CORDIC_FUNCS - {"log", "log2", "log10", "sqrt", "atan"},
+    "cordic_fx": frozenset({"sin", "cos"}),
+    # Minimax polynomial over the natural range; tan's pole is not
+    # polynomially approximable.
+    "poly": _ALL_FUNCS - {"tan"},
+    "mlut": _ALL_FUNCS,
+    "mlut_i": _ALL_FUNCS,
+    "llut": _ALL_FUNCS,
+    "llut_i": _ALL_FUNCS,
+    "llut_fx": _S3_28_SAFE,
+    "llut_i_fx": _S3_28_SAFE,
+    # Segmented L-LUT (extension): curvature-adaptive two-level table.
+    # Periodic functions have uniform curvature, so segmentation buys
+    # nothing there; supported anyway except where D-LUT also fails.
+    "slut_i": _ALL_FUNCS - {"tan"},
+    "dlut": _NON_PERIODIC,
+    "dlut_i": _NON_PERIODIC,
+    "dllut": _NON_PERIODIC,
+    "dllut_i": _NON_PERIODIC,
+}
+
+
+def supports(method: str, function: str) -> bool:
+    """True when ``method`` implements ``function`` (Table 2)."""
+    return function in METHOD_SUPPORT.get(method, frozenset())
+
+
+def check_support(method: str, function: str) -> None:
+    """Raise :class:`UnsupportedFunctionError` for unsupported pairings."""
+    if method not in METHOD_SUPPORT:
+        raise UnsupportedFunctionError(
+            function, method, f"unknown method; known: {sorted(METHOD_SUPPORT)}"
+        )
+    if function not in METHOD_SUPPORT[method]:
+        raise UnsupportedFunctionError(function, method)
+
+
+def supported_methods(function: str) -> List[str]:
+    """All methods that implement ``function``, in registry order."""
+    return [m for m in METHOD_SUPPORT if function in METHOD_SUPPORT[m]]
+
+
+def supported_functions(method: str) -> List[str]:
+    """All functions implemented by ``method``, sorted."""
+    return sorted(METHOD_SUPPORT.get(method, frozenset()))

@@ -1,0 +1,119 @@
+"""Software ``ldexpf``/``frexpf`` built from integer bit operations.
+
+The UPMEM runtime does not provide ``ldexp``, so the paper implements it in
+accordance with C99 (Section 3.2.2).  Multiplying by a power of two reduces to
+an add on the exponent field of the float32 bit pattern — a handful of native
+integer instructions — which is what makes the L-LUT address generation free
+of floating-point multiplies.
+
+The scalar implementations below use only integer bit manipulation (mirroring
+a DPU implementation) and are bit-exact against the C99 semantics, including
+signed zeros, infinities, NaNs, subnormal inputs, overflow to infinity, and
+gradual underflow with round-to-nearest-even.  Vectorized twins delegate to
+numpy and are tested to agree with the scalar versions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.float_bits import EXP_BIAS, MANT_BITS, bits_to_float, float_to_bits
+
+__all__ = ["ldexpf", "frexpf", "ldexpf_vec", "frexpf_vec"]
+
+_F32 = np.float32
+
+_EXP_MASK = 0xFF
+_MANT_MASK = (1 << MANT_BITS) - 1
+_IMPLICIT_BIT = 1 << MANT_BITS
+
+
+def ldexpf(x: Union[float, np.float32], n: int) -> np.float32:
+    """Compute ``x * 2**n`` in float32, using only integer bit operations.
+
+    Follows C99 ``ldexpf``: exact scaling where representable, overflow to
+    signed infinity, gradual underflow to subnormals with round-to-nearest-even,
+    and propagation of zeros/inf/NaN.
+    """
+    bits = int(float_to_bits(_F32(x)))
+    sign = bits & 0x80000000
+    exp = (bits >> MANT_BITS) & _EXP_MASK
+    mant = bits & _MANT_MASK
+
+    if exp == _EXP_MASK:  # inf or NaN: unchanged
+        return _F32(bits_to_float(bits))
+    if exp == 0 and mant == 0:  # signed zero: unchanged
+        return _F32(bits_to_float(bits))
+
+    if exp == 0:
+        # Subnormal input: normalize so the implicit bit is set, tracking the
+        # shift in the exponent.
+        e = 1
+        while not (mant & _IMPLICIT_BIT):
+            mant <<= 1
+            e -= 1
+    else:
+        e = exp
+        mant |= _IMPLICIT_BIT
+
+    e += n
+
+    if e >= _EXP_MASK:  # overflow -> signed infinity
+        return _F32(bits_to_float(sign | (_EXP_MASK << MANT_BITS)))
+
+    if e <= 0:
+        # Result is subnormal (or underflows to zero).  Shift the 24-bit
+        # significand right by (1 - e) with round-to-nearest-even.
+        shift = 1 - e
+        if shift > MANT_BITS + 2:
+            return _F32(bits_to_float(sign))  # underflow to signed zero
+        kept = mant >> shift
+        remainder = mant & ((1 << shift) - 1)
+        half = 1 << (shift - 1)
+        if remainder > half or (remainder == half and (kept & 1)):
+            kept += 1  # may carry into the exponent field: that is correct
+        return _F32(bits_to_float(sign | kept))
+
+    mant &= _MANT_MASK  # drop the implicit bit again
+    return _F32(bits_to_float(sign | (e << MANT_BITS) | mant))
+
+
+def frexpf(x: Union[float, np.float32]) -> Tuple[np.float32, int]:
+    """Split ``x`` into ``(m, e)`` with ``x == m * 2**e`` and ``|m| in [0.5, 1)``.
+
+    Follows C99 ``frexpf``; zeros, infinities, and NaNs return ``(x, 0)``.
+    """
+    bits = int(float_to_bits(_F32(x)))
+    sign = bits & 0x80000000
+    exp = (bits >> MANT_BITS) & _EXP_MASK
+    mant = bits & _MANT_MASK
+
+    if exp == _EXP_MASK or (exp == 0 and mant == 0):
+        return _F32(bits_to_float(bits)), 0
+
+    if exp == 0:
+        # Normalize a subnormal.
+        e = 1
+        while not (mant & _IMPLICIT_BIT):
+            mant <<= 1
+            e -= 1
+        mant &= _MANT_MASK
+    else:
+        e = exp
+
+    # Mantissa in [0.5, 1) means a biased exponent field of EXP_BIAS - 1.
+    out_bits = sign | ((EXP_BIAS - 1) << MANT_BITS) | mant
+    return _F32(bits_to_float(out_bits)), e - (EXP_BIAS - 1)
+
+
+def ldexpf_vec(x: np.ndarray, n: Union[int, np.ndarray]) -> np.ndarray:
+    """Vectorized float32 ``ldexp`` (numpy-backed twin of :func:`ldexpf`)."""
+    return np.ldexp(np.asarray(x, dtype=_F32), np.asarray(n, dtype=np.int32)).astype(_F32)
+
+
+def frexpf_vec(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized float32 ``frexp`` (numpy-backed twin of :func:`frexpf`)."""
+    m, e = np.frexp(np.asarray(x, dtype=_F32))
+    return m.astype(_F32), e.astype(np.int32)

@@ -1,0 +1,129 @@
+"""Multiplication-based fuzzy lookup table (M-LUT, Section 3.2.1).
+
+Regular spacing between entries: ``a(x) = round((x - p) * k)`` with density
+``k`` and origin ``p``.  The address generation costs one float subtract, one
+float multiply, and one rounding step — the float multiply is exactly what
+the L-LUT variants remove.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.functions.registry import FunctionSpec
+from repro.core.lut.base import FuzzyLUT, build_table
+from repro.errors import ConfigurationError
+
+__all__ = ["MLUT", "MLUTInterpolated"]
+
+_F32 = np.float32
+
+
+class MLUT(FuzzyLUT):
+    """Non-interpolated M-LUT: one multiply per lookup."""
+
+    method_name = "mlut"
+    interpolated = False
+
+    def __init__(
+        self,
+        spec: FunctionSpec,
+        size: int = 1024,
+        interval: Optional[Tuple[float, float]] = None,
+        **kwargs,
+    ):
+        super().__init__(spec, **kwargs)
+        if size < 2:
+            raise ConfigurationError("M-LUT size must be at least 2")
+        self.size = size
+        self.lo, self.hi = interval if interval is not None else spec.natural_range
+        if not self.hi > self.lo:
+            raise ConfigurationError("M-LUT interval must be non-degenerate")
+        # Density and origin as the PIM core will see them (float32).
+        self.k = _F32((size - 1) / (self.hi - self.lo))
+        self.p = _F32(self.lo)
+
+    # ------------------------------------------------------------------
+    # host side
+
+    def _a_inv(self, i: np.ndarray) -> np.ndarray:
+        """Pseudo-inverse: the exact preimage of address ``i``."""
+        return float(self.p) + np.asarray(i, dtype=np.float64) / float(self.k)
+
+    def _build(self) -> None:
+        self._table = build_table(self.spec.reference, self._a_inv, self.size)
+
+    # ------------------------------------------------------------------
+    # PIM side
+
+    def core_eval(self, ctx, u):
+        v = ctx.fsub(u, self.p) if self.p != 0 else u
+        v = ctx.fmul(v, self.k)
+        idx = ctx.fround(v)
+        idx = self._clamp_index(ctx, idx, self.entries - 1)
+        return self._load(ctx, self._table, idx)
+
+    def core_eval_vec(self, u):
+        u = np.asarray(u, dtype=_F32)
+        v = u if self.p == 0 else (u - self.p).astype(_F32)
+        v = (v * self.k).astype(_F32)
+        idx = np.floor(v.astype(np.float64) + 0.5).astype(np.int64)
+        idx = np.clip(idx, 0, self.entries - 1)
+        return self._table[idx]
+
+
+class MLUTInterpolated(FuzzyLUT):
+    """Interpolated M-LUT: two multiplies per lookup (address + interpolation)."""
+
+    method_name = "mlut_i"
+    interpolated = True
+
+    def __init__(
+        self,
+        spec: FunctionSpec,
+        size: int = 1024,
+        interval: Optional[Tuple[float, float]] = None,
+        **kwargs,
+    ):
+        super().__init__(spec, **kwargs)
+        if size < 3:
+            raise ConfigurationError("interpolated M-LUT size must be at least 3")
+        self.size = size
+        self.lo, self.hi = interval if interval is not None else spec.natural_range
+        if not self.hi > self.lo:
+            raise ConfigurationError("M-LUT interval must be non-degenerate")
+        # size entries span the interval; the last interpolation segment ends
+        # exactly at hi, so the floor address ranges over [0, size-2].
+        self.k = _F32((size - 1) / (self.hi - self.lo))
+        self.p = _F32(self.lo)
+
+    def _a_inv(self, i: np.ndarray) -> np.ndarray:
+        return float(self.p) + np.asarray(i, dtype=np.float64) / float(self.k)
+
+    def _build(self) -> None:
+        self._table = build_table(self.spec.reference, self._a_inv, self.size)
+
+    def core_eval(self, ctx, u):
+        v = ctx.fsub(u, self.p) if self.p != 0 else u
+        v = ctx.fmul(v, self.k)
+        idx = ctx.ffloor(v)
+        idx = self._clamp_index(ctx, idx, self.entries - 2)
+        fi = ctx.i2f(idx)
+        delta = ctx.fsub(v, fi)
+        l0 = self._load(ctx, self._table, idx)
+        l1 = self._load(ctx, self._table, ctx.iadd(idx, 1))
+        diff = ctx.fsub(l1, l0)
+        prod = ctx.fmul(diff, delta)
+        return ctx.fadd(l0, prod)
+
+    def core_eval_vec(self, u):
+        u = np.asarray(u, dtype=_F32)
+        v = u if self.p == 0 else (u - self.p).astype(_F32)
+        v = (v * self.k).astype(_F32)
+        idx = np.clip(np.floor(v).astype(np.int64), 0, self.entries - 2)
+        delta = (v - idx.astype(_F32)).astype(_F32)
+        l0 = self._table[idx]
+        l1 = self._table[idx + 1]
+        return (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)

@@ -1,0 +1,89 @@
+"""Memory sizing helpers: from budgets to precision knobs and back.
+
+Figure 7's content as forward/inverse functions: given a method family and
+a byte budget, what is the densest table that fits — and conversely, what
+does a precision knob cost in bytes?  Used by capacity planning (how many
+functions fit one core's WRAM?) and by the recommender's budget filter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.core.functions.registry import FunctionSpec, get_function
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "lut_entries",
+    "lut_bytes",
+    "max_density_for_budget",
+    "max_size_for_budget",
+    "cordic_bytes",
+    "dlut_bytes",
+    "functions_per_wram",
+]
+
+_ENTRY_BYTES = 4
+_GUARD_ENTRIES = 2
+
+
+def _interval(spec: FunctionSpec,
+              interval: Tuple[float, float] = None) -> Tuple[float, float]:
+    return interval if interval is not None else spec.natural_range
+
+
+def lut_entries(function: str, density_log2: int,
+                interval: Tuple[float, float] = None) -> int:
+    """Entries of an L-LUT at the given power-of-two density."""
+    lo, hi = _interval(get_function(function), interval)
+    return int(math.ceil((hi - lo) * 2.0 ** density_log2)) + _GUARD_ENTRIES
+
+
+def lut_bytes(function: str, density_log2: int,
+              interval: Tuple[float, float] = None) -> int:
+    """Bytes of an L-LUT at the given density."""
+    return lut_entries(function, density_log2, interval) * _ENTRY_BYTES
+
+
+def max_density_for_budget(function: str, budget_bytes: int,
+                           interval: Tuple[float, float] = None) -> int:
+    """Largest ``density_log2`` whose L-LUT fits in ``budget_bytes``.
+
+    Raises when not even density 2^0 fits (the interval itself is too wide
+    for the budget).
+    """
+    if lut_bytes(function, 0, interval) > budget_bytes:
+        raise ConfigurationError(
+            f"not even a unit-density table for {function!r} fits in "
+            f"{budget_bytes} bytes"
+        )
+    n = 0
+    while lut_bytes(function, n + 1, interval) <= budget_bytes:
+        n += 1
+    return n
+
+
+def max_size_for_budget(budget_bytes: int) -> int:
+    """Largest M-LUT entry count fitting ``budget_bytes``."""
+    return max(2, budget_bytes // _ENTRY_BYTES)
+
+
+def cordic_bytes(iterations: int) -> int:
+    """CORDIC footprint: the angle table plus two constants."""
+    return iterations * _ENTRY_BYTES + 8
+
+
+def dlut_bytes(mant_bits: int, e_min: int, e_max: int,
+               interpolated: bool = False) -> int:
+    """D-LUT footprint for the given exponent window and mantissa bits."""
+    cells = (e_max - e_min) << mant_bits
+    entries = cells + (_GUARD_ENTRIES if interpolated else 0)
+    return entries * _ENTRY_BYTES
+
+
+def functions_per_wram(function: str, density_log2: int,
+                       wram_budget: int = 48 * 1024) -> int:
+    """How many same-shaped L-LUTs fit one core's usable scratchpad."""
+    per = lut_bytes(function, density_log2)
+    return wram_budget // per if per else 0

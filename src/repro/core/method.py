@@ -1,0 +1,172 @@
+"""Base class shared by every TransPimLib implementation method.
+
+A :class:`Method` splits its life in two, mirroring the host/PIM split in the
+paper (Figure 1(c)):
+
+* :meth:`setup` runs on the *host*: it generates lookup/iteration tables in
+  full float64 precision (the pseudo-inverse ``a_inv`` is only ever used
+  here), rounds them to the PIM storage format, and optionally places them in
+  a simulated memory region (WRAM scratchpad or MRAM bank).
+* :meth:`evaluate` runs on the *PIM core*: a traced scalar computation whose
+  every arithmetic step charges instruction costs through a
+  :class:`~repro.isa.CycleCounter`.
+
+:meth:`evaluate_vec` is the vectorized accuracy twin — bit-identical float32
+semantics over numpy arrays, used for bulk RMSE sweeps over 2^16 inputs.
+Tests assert scalar and vectorized paths agree.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Optional
+
+import numpy as np
+
+from repro.core.functions.registry import FunctionSpec
+from repro.core.range_reduction import Reducer, make_reducer
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa.counter import CycleCounter, Tally
+from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.pim.memory import MemoryRegion
+
+__all__ = ["Method"]
+
+_F32 = np.float32
+
+_PLACEMENTS = ("wram", "mram")
+
+
+class Method(ABC):
+    """One implementation method bound to one target function."""
+
+    #: Canonical method name (a key of ``METHOD_SUPPORT``).
+    method_name: ClassVar[str] = "abstract"
+    #: Whether the method linearly interpolates between table entries.
+    interpolated: ClassVar[bool] = False
+    #: Whether the PIM-side arithmetic is fixed-point.
+    fixed_point: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        spec: FunctionSpec,
+        *,
+        placement: str = "mram",
+        assume_in_range: bool = True,
+        costs: OpCosts = UPMEM_COSTS,
+    ):
+        if placement not in _PLACEMENTS:
+            raise ConfigurationError(
+                f"placement must be one of {_PLACEMENTS}, got {placement!r}"
+            )
+        self.spec = spec
+        self.placement = placement
+        self.assume_in_range = assume_in_range
+        self.costs = costs
+        self.reducer: Reducer = make_reducer(spec, assume_in_range)
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # host side
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Generate tables/constants on the host (float64, then rounded)."""
+
+    @abstractmethod
+    def table_bytes(self) -> int:
+        """PIM memory consumed by this method's tables and constants."""
+
+    @abstractmethod
+    def host_entries(self) -> int:
+        """Number of table entries the host generates (drives setup time)."""
+
+    def setup(self, memory: Optional[MemoryRegion] = None) -> "Method":
+        """Host-side setup; optionally reserve space in a PIM memory region.
+
+        Placing into a region enforces the capacity constraint that caps
+        non-interpolated LUT accuracy in the paper (Observation 4/Figure 7).
+        Returns ``self`` for chaining.
+        """
+        self._build()
+        self._ready = True
+        if memory is not None:
+            memory.allocate(self.table_bytes(), self._alloc_label())
+        return self
+
+    def _alloc_label(self) -> str:
+        return f"{self.method_name}:{self.spec.name}"
+
+    def _require_ready(self) -> None:
+        if not self._ready:
+            raise SimulationError(
+                f"{self._alloc_label()}: call setup() before evaluating"
+            )
+
+    # ------------------------------------------------------------------
+    # PIM side
+
+    @abstractmethod
+    def core_eval(self, ctx: CycleCounter, u: np.float32) -> np.float32:
+        """Traced evaluation for an input already inside the natural range."""
+
+    @abstractmethod
+    def core_eval_vec(self, u: np.ndarray) -> np.ndarray:
+        """Vectorized twin of :meth:`core_eval`."""
+
+    def evaluate(self, ctx: CycleCounter, x: float) -> np.float32:
+        """Traced evaluation of one element, including range handling."""
+        self._require_ready()
+        u, state = self.reducer.reduce(ctx, _F32(x))
+        y = self.core_eval(ctx, u)
+        return self.reducer.reconstruct(ctx, y, state)
+
+    def evaluate_vec(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation of an array, including range handling."""
+        self._require_ready()
+        u, state = self.reducer.reduce_vec(np.asarray(x, dtype=_F32))
+        y = self.core_eval_vec(u)
+        return self.reducer.reconstruct_vec(y, state)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: set up on first use, then evaluate vectorized."""
+        if not self._ready:
+            self.setup()
+        return self.evaluate_vec(x)
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+
+    def element_tally(self, x: float) -> Tally:
+        """Instruction tally for evaluating one element (no streaming costs)."""
+        ctx = CycleCounter(self.costs)
+        self.evaluate(ctx, x)
+        return ctx.reset()
+
+    def mean_slots(self, xs: np.ndarray) -> float:
+        """Average per-element instruction slots over a sample of inputs."""
+        xs = np.asarray(xs, dtype=_F32)
+        if xs.size == 0:
+            raise ConfigurationError("mean_slots needs at least one input")
+        total = 0
+        for x in xs:
+            total += self.element_tally(float(x)).slots
+        return total / xs.size
+
+    # ------------------------------------------------------------------
+    # traced table access honoring placement
+
+    def _load(self, ctx: CycleCounter, table: np.ndarray, index: int):
+        """Load one table entry from the configured memory (WRAM or MRAM)."""
+        if self.placement == "wram":
+            return ctx.wram_read(table, index)
+        return ctx.mram_read(table, index, int(table.itemsize))
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        suffix = " (interpolated)" if self.interpolated else ""
+        kind = "fixed-point" if self.fixed_point else "float32"
+        return (
+            f"{self.method_name}{suffix} {self.spec.name} [{kind}, "
+            f"{self.placement.upper()}, {self.table_bytes()} B]"
+        )

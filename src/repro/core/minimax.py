@@ -1,0 +1,138 @@
+"""Minimax polynomial fitting via the Remez exchange algorithm.
+
+The paper's polynomial baseline cites both Taylor series and minimax
+polynomials.  Taylor coefficients are trivial; this module supplies the
+minimax side: given a function and interval, find the degree-n polynomial
+minimizing the maximum error.  It exists to make the Figure 9 baseline as
+strong as possible — the ablation benchmark verifies that even
+minimax-grade polynomials (which save 2-3 terms over Taylor at equal
+accuracy) do not close the gap to the LUT methods, because every term still
+costs a softfloat multiply-add.
+
+Implementation: classic Remez exchange — start from Chebyshev extrema,
+solve for coefficients with an equioscillating error term, move the
+reference points to the new error extrema, iterate until the error levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter
+
+__all__ = ["MinimaxFit", "remez", "horner", "horner_vec"]
+
+_F32 = np.float32
+
+
+@dataclass(frozen=True)
+class MinimaxFit:
+    """A fitted minimax polynomial with its certified error."""
+
+    coefficients: np.ndarray   # ascending order: c0 + c1 x + ...
+    interval: tuple
+    max_error: float           # measured on a dense grid
+    iterations: int
+
+    def coefficients_f32_desc(self) -> List[np.float32]:
+        """Descending-order float32 coefficients for Horner evaluation."""
+        return [np.float32(c) for c in self.coefficients[::-1]]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.polyval(self.coefficients[::-1],
+                          np.asarray(x, dtype=np.float64))
+
+
+def _chebyshev_extrema(lo: float, hi: float, count: int) -> np.ndarray:
+    k = np.arange(count, dtype=np.float64)
+    nodes = np.cos(np.pi * k / (count - 1))
+    return (lo + hi) / 2 + (hi - lo) / 2 * nodes[::-1]
+
+
+def remez(
+    f: Callable[[np.ndarray], np.ndarray],
+    degree: int,
+    interval: tuple,
+    max_iterations: int = 30,
+    grid_points: int = 4096,
+    tolerance: float = 1e-3,
+) -> MinimaxFit:
+    """Fit the degree-``degree`` minimax polynomial to ``f`` on ``interval``.
+
+    Converges when the trial error equioscillates (extrema equal within
+    ``tolerance`` relative spread), or after ``max_iterations`` exchanges.
+    """
+    lo, hi = float(interval[0]), float(interval[1])
+    if not hi > lo:
+        raise ConfigurationError("minimax interval must be non-degenerate")
+    if degree < 0:
+        raise ConfigurationError("polynomial degree must be non-negative")
+
+    n_ref = degree + 2
+    refs = _chebyshev_extrema(lo, hi, n_ref)
+    grid = np.linspace(lo, hi, grid_points)
+    fgrid = np.asarray(f(grid), dtype=np.float64)
+
+    coeffs = np.zeros(degree + 1)
+    for iteration in range(1, max_iterations + 1):
+        # Solve for coefficients + the levelled error E:
+        #   sum c_k x_i^k + (-1)^i E = f(x_i)
+        vander = np.vander(refs, degree + 1, increasing=True)
+        signs = ((-1.0) ** np.arange(n_ref)).reshape(-1, 1)
+        system = np.hstack([vander, signs])
+        rhs = np.asarray(f(refs), dtype=np.float64)
+        solution = np.linalg.solve(system, rhs)
+        coeffs = solution[:degree + 1]
+
+        # Locate error extrema on the dense grid.
+        err = np.polyval(coeffs[::-1], grid) - fgrid
+        # Pick alternating extrema: the largest |err| in each sign run.
+        sign_changes = np.where(np.diff(np.sign(err)) != 0)[0]
+        boundaries = np.concatenate(([0], sign_changes + 1, [grid_points]))
+        extrema = []
+        for a, b in zip(boundaries[:-1], boundaries[1:]):
+            if b > a:
+                seg = slice(a, b)
+                idx = a + int(np.argmax(np.abs(err[seg])))
+                extrema.append(idx)
+        if len(extrema) < n_ref:
+            break  # error already below sign-resolution: converged
+        # Keep the n_ref largest-amplitude alternating extrema, ordered.
+        extrema = sorted(extrema, key=lambda i: -abs(err[i]))[:n_ref]
+        refs = grid[np.sort(extrema)]
+
+        peaks = np.abs(err[np.sort(extrema)])
+        spread = (peaks.max() - peaks.min()) / max(peaks.max(), 1e-300)
+        if spread < tolerance:
+            break
+
+    final_err = float(np.max(np.abs(np.polyval(coeffs[::-1], grid) - fgrid)))
+    return MinimaxFit(
+        coefficients=coeffs,
+        interval=(lo, hi),
+        max_error=final_err,
+        iterations=iteration,
+    )
+
+
+def horner(ctx: CycleCounter, coeffs_desc: Sequence[np.float32],
+           x: np.float32) -> np.float32:
+    """Traced Horner evaluation: one fmul + fadd per term."""
+    acc = _F32(coeffs_desc[0])
+    for c in coeffs_desc[1:]:
+        acc = ctx.fadd(ctx.fmul(acc, x), _F32(c))
+    return acc
+
+
+def horner_vec(coeffs_desc: Sequence[np.float32],
+               x: np.ndarray) -> np.ndarray:
+    """Vectorized float32 twin of :func:`horner`."""
+    x = np.asarray(x, dtype=_F32)
+    acc = np.full(x.shape, _F32(coeffs_desc[0]), dtype=_F32)
+    for c in coeffs_desc[1:]:
+        acc = ((acc * x).astype(_F32) + _F32(c)).astype(_F32)
+    return acc

@@ -1,0 +1,51 @@
+"""Host-side setup time model (Figure 6 of the paper).
+
+Setup consists of (1) generating tables on the host CPU and (2) copying them
+into the PIM core's DRAM bank.  Both components are modeled explicitly:
+
+* generation costs a fixed per-call overhead plus a per-entry cost (one libm
+  evaluation and a store — ~8 ns on the paper's Xeon);
+* the copy runs at the single-bank host->PIM bandwidth (~600 MB/s on UPMEM;
+  a table is set up once per PIM core, so the parallel-transfer aggregate
+  bandwidth does not apply).
+
+The model reproduces Figure 6's structure: CORDIC setup is flat (a few dozen
+angle-table entries regardless of accuracy), LUT setup grows linearly with
+table size, and CORDIC+LUT sits slightly above CORDIC but stays flat because
+its skip table's size is fixed by ``lut_bits``, not by the accuracy target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.method import Method
+
+__all__ = ["SetupTimeModel", "DEFAULT_SETUP_MODEL", "setup_seconds"]
+
+
+@dataclass(frozen=True)
+class SetupTimeModel:
+    """Constants of the host setup-time model."""
+
+    #: Fixed overhead per setup call (allocation, driver API), seconds.
+    call_overhead_s: float = 20e-6
+    #: Host time to generate one table entry (libm call + store), seconds.
+    per_entry_s: float = 8e-9
+    #: Host -> single PIM bank copy bandwidth, bytes/second.
+    copy_bandwidth: float = 600e6
+
+    def seconds(self, entries: int, table_bytes: int) -> float:
+        """Setup time for a table of ``entries`` entries / ``table_bytes``."""
+        generate = entries * self.per_entry_s
+        copy = table_bytes / self.copy_bandwidth
+        return self.call_overhead_s + generate + copy
+
+
+#: Model instance used by all figure harnesses.
+DEFAULT_SETUP_MODEL = SetupTimeModel()
+
+
+def setup_seconds(method: Method, model: SetupTimeModel = DEFAULT_SETUP_MODEL) -> float:
+    """Modeled host setup time for a constructed (set-up) method."""
+    return model.seconds(method.host_entries(), method.table_bytes())

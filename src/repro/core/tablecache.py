@@ -1,0 +1,115 @@
+"""Host-side table cache: persist generated lookup tables across runs.
+
+Figure 6 shows LUT setup dominated by table *generation* (one libm call per
+entry).  A real deployment generates each table once and reuses it; this
+module provides that: tables are stored under a key derived from the
+method's exact geometry (function, spacing, interval, storage format), so a
+cache hit restores bit-identical tables without touching the reference
+implementation.
+
+Only self-contained table methods are cacheable (M-LUT, L-LUT, D-LUT
+families).  Composites (DL-LUT, the tan quotient) and CORDIC methods are
+rejected — CORDIC tables are a few dozen entries and not worth caching;
+composites should cache their parts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.lut.base import FuzzyLUT
+from repro.core.lut.dllut import _DLLUTBase
+from repro.core.lut.tan import TanQuotientLUT
+from repro.core.method import Method
+from repro.errors import ConfigurationError
+
+__all__ = ["TableCache", "cache_signature"]
+
+
+def cache_signature(method: Method) -> str:
+    """Stable key for a method's table contents.
+
+    Built from the method name, function, and every primitive field of its
+    geometry — anything that changes the stored values changes the key.
+    """
+    parts = [method.method_name, method.spec.name]
+    geom = getattr(method, "geom", None)
+    if geom is not None:
+        parts += [
+            f"{k}={v!r}" for k, v in sorted(vars(geom).items())
+            if isinstance(v, (int, float, str, bool, np.floating, np.integer))
+        ]
+    for attr in ("size", "k", "p", "lo", "hi"):
+        v = getattr(method, attr, None)
+        if isinstance(v, (int, float, np.floating, np.integer)):
+            parts.append(f"{attr}={float(v)!r}")
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:24]
+    return f"{method.method_name}-{method.spec.name}-{digest}"
+
+
+def _check_cacheable(method: Method) -> None:
+    if isinstance(method, (_DLLUTBase, TanQuotientLUT)):
+        raise ConfigurationError(
+            f"{method.method_name} is a composite; cache its parts instead"
+        )
+    if not isinstance(method, FuzzyLUT):
+        raise ConfigurationError(
+            f"{method.method_name} is not a table method; nothing to cache"
+        )
+
+
+class TableCache:
+    """A directory of ``.npy`` tables keyed by method geometry."""
+
+    def __init__(self, directory: Union[str, pathlib.Path]):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, method: Method) -> pathlib.Path:
+        return self.directory / f"{cache_signature(method)}.npy"
+
+    def contains(self, method: Method) -> bool:
+        """True when a table for this exact geometry is cached."""
+        _check_cacheable(method)
+        return self._path(method).exists()
+
+    def store(self, method: Method) -> pathlib.Path:
+        """Persist a set-up method's table; returns the file path."""
+        _check_cacheable(method)
+        if not getattr(method, "_ready", False):
+            raise ConfigurationError("set up the method before caching it")
+        path = self._path(method)
+        np.save(path, method._table, allow_pickle=False)
+        return path
+
+    def load_into(self, method: Method) -> bool:
+        """Restore a cached table into a fresh method.
+
+        Returns True on a hit (the method becomes ready without table
+        generation), False on a miss.
+        """
+        _check_cacheable(method)
+        path = self._path(method)
+        if not path.exists():
+            return False
+        method._table = np.load(path, allow_pickle=False)
+        method._ready = True
+        return True
+
+    def setup(self, method: Method) -> Method:
+        """Cache-aware setup: load on hit, build-and-store on miss."""
+        if not self.load_into(method):
+            method.setup()
+            self.store(method)
+        return method
+
+    def clear(self) -> int:
+        """Delete every cached table; returns how many were removed."""
+        files = list(self.directory.glob("*.npy"))
+        for f in files:
+            f.unlink()
+        return len(files)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the TransPimLib reproduction.
+
+All library-specific errors derive from :class:`TransPimError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class TransPimError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(TransPimError):
+    """A method, simulator, or workload was configured with invalid parameters."""
+
+
+class UnsupportedFunctionError(TransPimError):
+    """The requested (function, method) pair is not in the support matrix.
+
+    Mirrors Table 2 of the paper: not every implementation method supports
+    every function (e.g. D-LUT is unsuitable for periodic functions).
+    """
+
+    def __init__(self, function: str, method: str, reason: str = ""):
+        self.function = function
+        self.method = method
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"function {function!r} is not supported by method {method!r}{detail}"
+        )
+
+
+class RangeError(TransPimError):
+    """An input value is outside the supported range of a method.
+
+    Raised only when range extension is disabled; with range extension the
+    library reduces the argument instead (Section 2.2.3 of the paper).
+    """
+
+
+class MemoryLayoutError(TransPimError):
+    """A table or buffer does not fit in the requested PIM memory region."""
+
+
+class SimulationError(TransPimError):
+    """The PIM simulator was driven into an invalid state."""

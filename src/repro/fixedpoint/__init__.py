@@ -1,0 +1,37 @@
+"""Signed fixed-point arithmetic (the paper's s3.28 format and friends)."""
+
+from repro.fixedpoint.array import FxArray
+
+from repro.fixedpoint.ops import (
+    fx_add,
+    fx_add_vec,
+    fx_div,
+    fx_frac,
+    fx_mul,
+    fx_mul_vec,
+    fx_neg,
+    fx_round_index,
+    fx_shift,
+    fx_sub,
+    fx_sub_vec,
+)
+from repro.fixedpoint.qformat import Q1_30, Q3_28, Q15_16, QFormat
+
+__all__ = [
+    "FxArray",
+    "QFormat",
+    "Q3_28",
+    "Q15_16",
+    "Q1_30",
+    "fx_add",
+    "fx_sub",
+    "fx_mul",
+    "fx_div",
+    "fx_neg",
+    "fx_shift",
+    "fx_round_index",
+    "fx_frac",
+    "fx_add_vec",
+    "fx_sub_vec",
+    "fx_mul_vec",
+]

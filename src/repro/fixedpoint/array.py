@@ -1,0 +1,147 @@
+"""FxArray: an ergonomic vectorized fixed-point array type.
+
+The counted scalar ops (:mod:`repro.fixedpoint.ops`) are what PIM kernels
+use; host-side table generation, test oracles, and fully fixed pipelines
+benefit from an array type with natural operators.  ``FxArray`` wraps raw
+int64 words plus a :class:`~repro.fixedpoint.qformat.QFormat` and implements
+two's-complement-exact arithmetic — every operation wraps at the format's
+word width, matching what 32-bit DPU registers would hold.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint.qformat import Q3_28, QFormat
+
+__all__ = ["FxArray"]
+
+Number = Union[int, float]
+
+
+class FxArray:
+    """A fixed-point array with numpy-style operators, wrapping like a DPU."""
+
+    __slots__ = ("fmt", "raw")
+
+    def __init__(self, raw: np.ndarray, fmt: QFormat = Q3_28):
+        self.fmt = fmt
+        self.raw = np.asarray(fmt.wrap(np.asarray(raw, dtype=np.int64)),
+                              dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+
+    @classmethod
+    def from_float(cls, values, fmt: QFormat = Q3_28,
+                   saturate: bool = True) -> "FxArray":
+        """Quantize real values (round-to-nearest; saturating by default)."""
+        raw = fmt.from_float(np.asarray(values, dtype=np.float64),
+                             saturate=saturate)
+        return cls(np.asarray(raw, dtype=np.int64), fmt)
+
+    def to_float(self) -> np.ndarray:
+        """Exact real values as float64."""
+        return np.asarray(self.fmt.to_float(self.raw))
+
+    def to_float32(self) -> np.ndarray:
+        """Values rounded to float32 (the PIM output conversion)."""
+        return self.to_float().astype(np.float32)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self):
+        return self.raw.shape
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __repr__(self) -> str:
+        return f"FxArray({self.fmt}, {self.to_float()!r})"
+
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, FxArray):
+            if other.fmt != self.fmt:
+                raise ConfigurationError(
+                    f"format mismatch: {self.fmt} vs {other.fmt}"
+                )
+            return other.raw
+        if isinstance(other, (int, float, np.floating, np.integer)):
+            return np.asarray(self.fmt.from_float(float(other)),
+                              dtype=np.int64)
+        raise ConfigurationError(f"cannot combine FxArray with {type(other)}")
+
+    # ------------------------------------------------------------------
+    # arithmetic (two's-complement wrapping, like DPU registers)
+
+    def __add__(self, other) -> "FxArray":
+        return FxArray(self.raw + self._coerce(other), self.fmt)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "FxArray":
+        return FxArray(self.raw - self._coerce(other), self.fmt)
+
+    def __rsub__(self, other) -> "FxArray":
+        return FxArray(self._coerce(other) - self.raw, self.fmt)
+
+    def __neg__(self) -> "FxArray":
+        return FxArray(-self.raw, self.fmt)
+
+    def __mul__(self, other) -> "FxArray":
+        wide = self.raw * self._coerce(other)
+        return FxArray(wide >> self.fmt.frac_bits, self.fmt)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "FxArray":
+        divisor = self._coerce(other)
+        wide = self.raw << self.fmt.frac_bits
+        # Truncate toward zero, like the emulated divide.
+        quot = np.sign(wide) * np.sign(divisor) * (
+            np.abs(wide) // np.maximum(np.abs(divisor), 1)
+        )
+        return FxArray(quot, self.fmt)
+
+    def __lshift__(self, n: int) -> "FxArray":
+        return FxArray(self.raw << n, self.fmt)
+
+    def __rshift__(self, n: int) -> "FxArray":
+        return FxArray(self.raw >> n, self.fmt)
+
+    # ------------------------------------------------------------------
+    # comparisons (on raw words: exact)
+
+    def __eq__(self, other) -> np.ndarray:  # type: ignore[override]
+        return self.raw == self._coerce(other)
+
+    def __lt__(self, other) -> np.ndarray:
+        return self.raw < self._coerce(other)
+
+    def __le__(self, other) -> np.ndarray:
+        return self.raw <= self._coerce(other)
+
+    def __gt__(self, other) -> np.ndarray:
+        return self.raw > self._coerce(other)
+
+    def __ge__(self, other) -> np.ndarray:
+        return self.raw >= self._coerce(other)
+
+    # ------------------------------------------------------------------
+
+    def abs(self) -> "FxArray":
+        """Elementwise absolute value."""
+        return FxArray(np.abs(self.raw), self.fmt)
+
+    def clip(self, lo: Number, hi: Number) -> "FxArray":
+        """Clamp values into [lo, hi] (given as reals)."""
+        lo_raw = self.fmt.from_float(float(lo))
+        hi_raw = self.fmt.from_float(float(hi))
+        return FxArray(np.clip(self.raw, lo_raw, hi_raw), self.fmt)
+
+    def __getitem__(self, idx) -> "FxArray":
+        return FxArray(np.atleast_1d(self.raw[idx]), self.fmt)

@@ -1,0 +1,141 @@
+"""Q-format descriptors for signed fixed-point numbers.
+
+The paper's fixed-point CORDIC/L-LUT variants use an s3.28 format: 1 sign bit,
+3 integer bits (enough for values up to 2*pi), and 28 fractional bits in a
+32-bit word (Section 3.1).  :class:`QFormat` captures such a layout and the
+conversions between raw integer words and real values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["QFormat", "Q3_28", "Q15_16", "Q1_30"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's-complement fixed-point format ``s<int_bits>.<frac_bits>``.
+
+    The word width is ``1 + int_bits + frac_bits`` and must fit in 32 bits,
+    matching the DPU's native register width.
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ConfigurationError("Q-format bit counts must be non-negative")
+        if self.word_bits > 32:
+            raise ConfigurationError(
+                f"Q-format s{self.int_bits}.{self.frac_bits} needs "
+                f"{self.word_bits} bits; the PIM word is 32 bits"
+            )
+
+    # ------------------------------------------------------------------
+    # layout
+
+    @property
+    def word_bits(self) -> int:
+        """Total width including the sign bit."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """The value of one integer unit: ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment, ``2**-frac_bits``."""
+        return 1.0 / self.scale
+
+    @property
+    def max_raw(self) -> int:
+        """Largest raw word (two's complement positive limit)."""
+        return (1 << (self.word_bits - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest raw word (two's complement negative limit)."""
+        return -(1 << (self.word_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable real value."""
+        return self.min_raw / self.scale
+
+    def __str__(self) -> str:
+        return f"s{self.int_bits}.{self.frac_bits}"
+
+    # ------------------------------------------------------------------
+    # conversions
+
+    def from_float(
+        self, value: Union[float, np.ndarray], saturate: bool = True
+    ) -> Union[int, np.ndarray]:
+        """Quantize real value(s) to raw word(s), rounding to nearest.
+
+        With ``saturate=True`` (the default, matching the library's host-side
+        table generation) out-of-range values clamp to the format limits;
+        otherwise they wrap in two's complement like DPU integer arithmetic.
+        """
+        scaled = np.round(np.asarray(value, dtype=np.float64) * self.scale)
+        # Values beyond int64 would overflow the cast below; clamp first.
+        scaled = np.clip(scaled, -(2.0 ** 62), 2.0 ** 62)
+        raw = scaled.astype(np.int64)
+        if saturate:
+            raw = np.clip(raw, self.min_raw, self.max_raw)
+        else:
+            raw = np.asarray(self.wrap(raw))
+        if raw.ndim == 0:
+            return int(raw)
+        return raw
+
+    def to_float(self, raw: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """Convert raw word(s) back to real value(s) (float64, exact)."""
+        value = np.asarray(raw, dtype=np.float64) / self.scale
+        if value.ndim == 0:
+            return float(value)
+        return value
+
+    def wrap(self, raw: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        """Reduce raw word(s) into the format's two's-complement range."""
+        modulus = 1 << self.word_bits
+        half = 1 << (self.word_bits - 1)
+        wrapped = (np.asarray(raw, dtype=np.int64) + half) % modulus - half
+        if wrapped.ndim == 0:
+            return int(wrapped)
+        return wrapped
+
+    def saturate(self, raw: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        """Clamp raw word(s) to the representable range."""
+        clamped = np.clip(np.asarray(raw, dtype=np.int64), self.min_raw, self.max_raw)
+        if clamped.ndim == 0:
+            return int(clamped)
+        return clamped
+
+    def representable(self, value: float) -> bool:
+        """True when ``value`` lies within the format's range."""
+        return self.min_value <= value <= self.max_value
+
+
+#: The paper's format: 1 sign + 3 integer bits (covers 2*pi) + 28 fraction bits.
+Q3_28 = QFormat(int_bits=3, frac_bits=28)
+
+#: A wider-range format useful for exp/log intermediate values.
+Q15_16 = QFormat(int_bits=15, frac_bits=16)
+
+#: A high-precision format for values in (-2, 2), e.g. CORDIC vectors.
+Q1_30 = QFormat(int_bits=1, frac_bits=30)

@@ -1,0 +1,6 @@
+"""Abstract PIM instruction set: operation costs and the counting context."""
+
+from repro.isa.counter import CycleCounter, Tally
+from repro.isa.opcosts import IDEALIZED_COSTS, UPMEM_COSTS, OpCosts
+
+__all__ = ["CycleCounter", "Tally", "OpCosts", "UPMEM_COSTS", "IDEALIZED_COSTS"]

@@ -1,0 +1,109 @@
+"""Per-operation instruction-slot costs for a UPMEM-like PIM core.
+
+The UPMEM DPU natively executes 32-bit integer add/subtract, shifts, logic,
+and compares in a single pipeline pass.  Everything else is emulated by the
+runtime library as a multi-instruction sequence: 32-bit integer multiply and
+divide are built from 8-bit ``mul_step`` instructions, and *all* floating-point
+arithmetic is software (softfloat).  The costs below express each operation as
+an equivalent number of pipeline instruction slots; at pipeline saturation
+(>= 11 resident tasklets) one slot is one cycle, so these are also the cycle
+counts behind the paper's Figure 5 methodology.
+
+Calibration.  The defaults are fitted to the published UPMEM characterization
+(PrIM, Gomez-Luna et al. 2021) and to the cycle counts TransPimLib reports:
+
+* native integer ALU ops: 1 slot;
+* emulated 32x32->32 multiply: ~32 slots; 32x32->64 (needed by s3.28
+  fixed-point multiplies): ~76 slots;
+* softfloat add ~100, multiply ~400, divide ~700 slots (PrIM reports ~0.9
+  MOPS for fp32 multiply on a saturated 350 MHz DPU, i.e. ~400 cycles) -- the
+  ~4x multiply-to-add ratio is what makes removing the float multiply (L-LUT
+  vs M-LUT) such a large win;
+* float<->fixed conversions ~90 slots each (normalize/align sequences), which
+  is why the paper's fixed-point non-interpolated L-LUT does *not* beat its
+  float counterpart (neither multiplies; the fixed version pays conversions);
+* TransPimLib's bit-manipulation ``ldexp`` ~12 slots, the key to L-LUT's
+  multiply-free address generation.
+
+Absolute values matter less than the ordering; the ablation benchmarks vary
+them to show which of the paper's conclusions are robust to miscalibration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["OpCosts", "UPMEM_COSTS", "IDEALIZED_COSTS"]
+
+
+@dataclass(frozen=True)
+class OpCosts:
+    """Instruction-slot costs for each operation class of the PIM ISA.
+
+    Instances are immutable; derive variants with :meth:`replace`.
+    """
+
+    # Native integer / register operations (single instruction).
+    int_alu: int = 1           # add, sub, and, or, xor, shifts, compares, moves
+    int_mul: int = 32          # emulated 32x32 -> 32 multiply
+    int_mul64: int = 76        # emulated 32x32 -> 64 multiply (fixed-point)
+    int_div: int = 56          # emulated long division
+    int_div64: int = 112       # emulated 64/32-bit division (fixed-point)
+
+    # Software floating point (softfloat sequences).
+    fp_add: int = 100          # also subtract
+    fp_mul: int = 400
+    fp_div: int = 700
+    fp_cmp: int = 30
+    fp_neg: int = 2            # sign-bit flip
+    fp_abs: int = 2            # sign-bit clear
+
+    # Conversions.
+    fp_to_int: int = 60        # truncating float32 -> int32
+    int_to_fp: int = 60        # int32 -> float32
+    fp_floor: int = 150        # floor to integer (convert + fixup)
+    fp_round: int = 150        # round-to-nearest to integer
+    float_to_fixed: int = 90   # float32 -> s*.* raw word (align by exponent)
+    fixed_to_float: int = 90   # s*.* raw word -> float32 (normalize)
+
+    # TransPimLib's software ldexp/frexp (bit manipulation, Section 3.2.2).
+    ldexp: int = 12            # exponent-field add + reassembly + range checks
+    frexp: int = 10            # exponent/mantissa split
+
+    # Memory.
+    wram_access: int = 1       # scratchpad load/store (single instruction)
+    mram_dma_setup: int = 8    # issuing a DMA transaction (pipeline slots)
+    mram_dma_per_8b: int = 4   # latency per 8-byte beat (hideable by threads)
+
+    # Control flow.
+    branch: int = 1
+
+    def replace(self, **changes: int) -> "OpCosts":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def fixed_mul(self) -> int:
+        """Cost of an s*.28-style fixed-point multiply: wide mul + shift."""
+        return self.int_mul64 + self.int_alu
+
+    @property
+    def fixed_add(self) -> int:
+        """Cost of a fixed-point add: a native integer add."""
+        return self.int_alu
+
+
+#: Default cost model, calibrated to UPMEM relative costs.
+UPMEM_COSTS = OpCosts()
+
+#: An idealized PIM core with hardware FP (for ablation): every op is 1 slot.
+IDEALIZED_COSTS = OpCosts(
+    int_alu=1, int_mul=1, int_mul64=1, int_div=1, int_div64=1,
+    fp_add=1, fp_mul=1, fp_div=1, fp_cmp=1, fp_neg=1, fp_abs=1,
+    fp_to_int=1, int_to_fp=1, fp_floor=1, fp_round=1,
+    float_to_fixed=1, fixed_to_float=1,
+    ldexp=1, frexp=1,
+    wram_access=1, mram_dma_setup=1, mram_dma_per_8b=1,
+    branch=1,
+)

@@ -1,0 +1,30 @@
+"""UPMEM-like PIM system simulator: cores, memories, pipeline, transfers."""
+
+from repro.pim.config import UPMEM_DPU, UPMEM_SYSTEM, DPUConfig, SystemConfig
+from repro.pim.dpu import DPU, KernelResult
+from repro.pim.exec import Instr, SimResult, simulate, trace_to_program
+
+# PIMRuntime/InstalledFunction live in repro.pim.host; import them from
+# there directly (importing here would cycle through repro.core.method).
+from repro.pim.memory import Allocation, MemoryRegion
+from repro.pim.pipeline import ExecutionEstimate, PipelineModel
+from repro.pim.system import PIMSystem, SystemRunResult
+
+__all__ = [
+    "DPUConfig",
+    "SystemConfig",
+    "UPMEM_DPU",
+    "UPMEM_SYSTEM",
+    "DPU",
+    "KernelResult",
+    "MemoryRegion",
+    "Allocation",
+    "PipelineModel",
+    "ExecutionEstimate",
+    "PIMSystem",
+    "SystemRunResult",
+    "Instr",
+    "SimResult",
+    "simulate",
+    "trace_to_program",
+]

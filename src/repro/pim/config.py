@@ -1,0 +1,95 @@
+"""Configuration records for the simulated UPMEM-like PIM system.
+
+Defaults mirror the paper's evaluation platform (Section 4.1): DPUs at
+350 MHz with 64 KB of scratchpad (WRAM) and a 64 MB DRAM bank (MRAM) each,
+and a 20-DIMM system totalling 2545 usable PIM cores.  The host is a
+2-socket, 32-core Xeon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DPUConfig", "SystemConfig", "UPMEM_DPU", "UPMEM_SYSTEM"]
+
+
+@dataclass(frozen=True)
+class DPUConfig:
+    """Parameters of a single PIM core (a DPU in UPMEM terminology)."""
+
+    frequency_mhz: float = 350.0
+    wram_bytes: int = 64 * 1024          # scratchpad
+    mram_bytes: int = 64 * 1024 * 1024   # DRAM bank
+    iram_bytes: int = 24 * 1024          # instruction memory
+    #: Minimum cycles between two instructions of the same tasklet; the
+    #: fine-grained multithreaded pipeline saturates at this many tasklets.
+    issue_spacing: int = 11
+    max_tasklets: int = 24
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError("DPU frequency must be positive")
+        if self.issue_spacing < 1:
+            raise ConfigurationError("issue spacing must be at least 1")
+        if self.max_tasklets < 1:
+            raise ConfigurationError("a DPU needs at least one tasklet")
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count on this core to seconds."""
+        return cycles / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Parameters of the full PIM system plus its host links."""
+
+    n_dpus: int = 2545
+    dpu: DPUConfig = field(default_factory=DPUConfig)
+    #: Aggregate host->PIM copy bandwidth with parallel (same-size) transfers
+    #: across all MRAM banks, bytes/second.
+    host_to_pim_bw: float = 16e9
+    #: Aggregate PIM->host retrieve bandwidth, bytes/second.
+    pim_to_host_bw: float = 8e9
+    #: Single-bank transfer bandwidth, bytes/second.  Parallel (aggregate)
+    #: transfers require same-size buffers on every bank (Section 2.1 of the
+    #: paper); unbalanced transfers serialize at this rate.
+    single_bank_bw: float = 600e6
+    #: Fixed per-launch overhead on the host (kernel launch, driver), seconds.
+    launch_overhead_s: float = 40e-6
+
+    def __post_init__(self) -> None:
+        if self.n_dpus < 1:
+            raise ConfigurationError("system needs at least one PIM core")
+        if self.host_to_pim_bw <= 0 or self.pim_to_host_bw <= 0:
+            raise ConfigurationError("transfer bandwidths must be positive")
+
+    def host_to_pim_seconds(self, total_bytes: int,
+                            balanced: bool = True) -> float:
+        """Time to scatter ``total_bytes`` from host to MRAM banks.
+
+        Parallel transfers need equal buffer sizes across banks; unbalanced
+        scatters fall back to serial single-bank copies (Section 2.1).
+        """
+        if balanced:
+            return total_bytes / self.host_to_pim_bw
+        return total_bytes / self.single_bank_bw
+
+    def pim_to_host_seconds(self, total_bytes: int,
+                            balanced: bool = True) -> float:
+        """Time to gather ``total_bytes`` from MRAM banks back to the host."""
+        if balanced:
+            return total_bytes / self.pim_to_host_bw
+        return total_bytes / self.single_bank_bw
+
+
+#: The paper's DPU (350 MHz, 64 KB WRAM, 64 MB MRAM).
+UPMEM_DPU = DPUConfig()
+
+#: The paper's 20-DIMM system (2545 usable DPUs).
+UPMEM_SYSTEM = SystemConfig()

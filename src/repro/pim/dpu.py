@@ -1,0 +1,228 @@
+"""A simulated PIM core (UPMEM DPU): memories, pipeline, and kernel runs.
+
+A kernel here is a per-element traced function ``kernel(ctx, x) -> y`` written
+against the :class:`~repro.isa.CycleCounter` ISA.  Running a kernel over an
+input array traces a representative sample of elements to obtain the average
+per-element instruction tally, extrapolates to the full element count, adds
+the streaming costs of moving operands between the DRAM bank and the
+scratchpad, and converts to cycles through the multithreaded pipeline model.
+
+This mirrors the paper's microbenchmark loop (Section 4.1.1): the PIM core
+moves chunks of the input array from MRAM into WRAM and operates on each
+element, while a hardware counter accumulates cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.counter import CycleCounter, Tally
+from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.pim.config import DPUConfig, UPMEM_DPU
+from repro.pim.memory import MemoryRegion
+from repro.pim.pipeline import PipelineModel
+
+__all__ = ["DPU", "KernelResult", "STREAM_CHUNK_ELEMS", "LOOP_SLOTS_PER_ELEMENT"]
+
+#: Elements moved per MRAM<->WRAM streaming chunk in the benchmark loop.
+STREAM_CHUNK_ELEMS = 256
+
+#: Loop bookkeeping per element: WRAM operand load/store, pointer updates,
+#: loop compare-and-branch.  Charged identically to every method, so it
+#: shifts all curves by a constant without changing their ordering.
+LOOP_SLOTS_PER_ELEMENT = 8
+
+Kernel = Callable[[CycleCounter, np.float32], object]
+
+
+@dataclass
+class KernelResult:
+    """Outcome of simulating a kernel over an input array on one PIM core."""
+
+    n_elements: int
+    tasklets: int
+    per_element_tally: Tally
+    total_tally: Tally
+    cycles: float
+    seconds: float
+    sample_outputs: np.ndarray
+
+    @property
+    def cycles_per_element(self) -> float:
+        if self.n_elements == 0:
+            return 0.0
+        return self.cycles / self.n_elements
+
+
+def _scale_tally(tally: Tally, factor: float) -> Tally:
+    """Return a tally scaled by ``factor`` (fields become floats)."""
+    scaled = Tally(
+        slots=tally.slots * factor,
+        dma_transactions=tally.dma_transactions * factor,
+        dma_bytes=tally.dma_bytes * factor,
+        dma_latency=tally.dma_latency * factor,
+    )
+    scaled.counts = {k: v * factor for k, v in tally.counts.items()}
+    return scaled
+
+
+class DPU:
+    """One simulated PIM core with its WRAM, MRAM, and pipeline."""
+
+    def __init__(
+        self,
+        config: DPUConfig = UPMEM_DPU,
+        costs: OpCosts = UPMEM_COSTS,
+    ):
+        self.config = config
+        self.costs = costs
+        self.wram = MemoryRegion("WRAM", config.wram_bytes)
+        self.mram = MemoryRegion("MRAM", config.mram_bytes)
+        self.pipeline = PipelineModel(config)
+
+    def reset_memory(self) -> None:
+        """Release all tables and buffers in both memories."""
+        self.wram.reset()
+        self.mram.reset()
+
+    # ------------------------------------------------------------------
+
+    def _streaming_tally(self, n_elements: int, bytes_in: int, bytes_out: int) -> Tally:
+        """Cost of moving operands MRAM<->WRAM in chunks plus loop overhead."""
+        tally = Tally()
+        tally.slots = n_elements * LOOP_SLOTS_PER_ELEMENT
+        n_chunks = max(1, -(-n_elements // STREAM_CHUNK_ELEMS))
+        transfers = 0
+        if bytes_in:
+            transfers += 1
+        if bytes_out:
+            transfers += 1
+        tally.slots += n_chunks * transfers * self.costs.mram_dma_setup
+        total_bytes = n_elements * (bytes_in + bytes_out)
+        tally.dma_transactions = n_chunks * transfers
+        tally.dma_bytes = total_bytes
+        tally.dma_latency = ((total_bytes + 7) // 8) * self.costs.mram_dma_per_8b
+        return tally
+
+    def trace_element(self, kernel: Kernel, x: float) -> "tuple[object, Tally]":
+        """Run ``kernel`` on a single element and return (output, tally)."""
+        ctx = CycleCounter(self.costs)
+        y = kernel(ctx, np.float32(x))
+        return y, ctx.reset()
+
+    def run_kernel(
+        self,
+        kernel: Kernel,
+        inputs: Sequence[float],
+        tasklets: int = 16,
+        sample_size: int = 64,
+        bytes_in_per_element: int = 4,
+        bytes_out_per_element: int = 4,
+        rng: Optional[np.random.Generator] = None,
+        virtual_n: Optional[int] = None,
+    ) -> KernelResult:
+        """Simulate running ``kernel`` over ``inputs`` with ``tasklets`` threads.
+
+        A sample of elements (all of them when the array is small) is traced
+        to measure the average per-element instruction tally; the total is an
+        extrapolation plus the streaming costs.  Sampling is sound because
+        TransPimLib kernels are data-oblivious up to branch direction, and the
+        sample preserves the input distribution.
+
+        ``virtual_n`` treats ``inputs`` as a sample standing in for a larger
+        array of that many elements drawn from the same distribution —
+        tracing cost is bounded while timing reflects the full size.
+        """
+        inputs = np.asarray(inputs, dtype=np.float32)
+        # 1-D arrays are streams of scalars; 2-D arrays are streams of
+        # records (e.g. Blackscholes option tuples), one row per element.
+        n = int(virtual_n if virtual_n is not None else inputs.shape[0])
+        if n == 0 or inputs.shape[0] == 0:
+            raise SimulationError("cannot run a kernel over an empty input array")
+
+        available = int(inputs.shape[0])
+        if available <= sample_size:
+            sample = inputs
+        else:
+            generator = rng or np.random.default_rng(0x7A57)
+            idx = generator.choice(available, size=sample_size, replace=False)
+            sample = inputs[np.sort(idx)]
+
+        sample_tally = Tally()
+        outputs = []
+        for x in sample:
+            y, tally = self.trace_element(kernel, x)
+            sample_tally.add(tally)
+            outputs.append(y)
+
+        per_element = _scale_tally(sample_tally, 1.0 / len(sample))
+        total = _scale_tally(per_element, float(n))
+        total.add(self._streaming_tally(n, bytes_in_per_element, bytes_out_per_element))
+
+        cycles = self.pipeline.cycles(total, tasklets)
+        seconds = self.config.cycles_to_seconds(cycles)
+        return KernelResult(
+            n_elements=n,
+            tasklets=tasklets,
+            per_element_tally=per_element,
+            total_tally=total,
+            cycles=cycles,
+            seconds=seconds,
+            sample_outputs=np.asarray(outputs, dtype=np.float32),
+        )
+
+    def run_kernel_exact(
+        self,
+        kernel: Kernel,
+        inputs: Sequence[float],
+        tasklets: int = 16,
+        max_units: int = 5_000_000,
+    ) -> KernelResult:
+        """Cycle-accurate kernel run: every element traced, instruction-level
+        simulation instead of the analytic pipeline model.
+
+        Ground truth for :meth:`run_kernel` (DESIGN.md's pipeline-model
+        substitution), at simulation cost linear in total instruction slots —
+        use for small arrays.  Elements are dealt round-robin to tasklets,
+        as the SPMD benchmark loop does.
+        """
+        from repro.isa.counter import CycleCounter as _Counter
+        from repro.pim.exec import simulate, trace_to_program
+
+        inputs = np.asarray(inputs, dtype=np.float32)
+        n = int(inputs.shape[0])
+        if n == 0:
+            raise SimulationError("cannot run a kernel over an empty input array")
+
+        tasklets = min(tasklets, n)
+        programs = [[] for _ in range(tasklets)]
+        total = Tally()
+        outputs = []
+        for i, x in enumerate(inputs):
+            trace = []
+            ctx = _Counter(self.costs, trace_ops=trace)
+            outputs.append(kernel(ctx, x))
+            total.add(ctx.reset())
+            programs[i % tasklets].extend(trace_to_program(trace))
+
+        units = sum(instr.slots for prog in programs for instr in prog)
+        if units > max_units:
+            raise SimulationError(
+                f"cycle-accurate run of {units} instruction slots exceeds "
+                f"max_units={max_units}; use run_kernel() for large arrays"
+            )
+        sim = simulate(programs, self.config)
+        per_element = _scale_tally(total, 1.0 / n)
+        return KernelResult(
+            n_elements=n,
+            tasklets=tasklets,
+            per_element_tally=per_element,
+            total_tally=total,
+            cycles=float(sim.cycles),
+            seconds=self.config.cycles_to_seconds(sim.cycles),
+            sample_outputs=np.asarray(outputs, dtype=np.float32),
+        )

@@ -1,0 +1,165 @@
+"""Cycle-accurate execution of tasklet programs on one PIM core.
+
+The analytic pipeline model (:mod:`repro.pim.pipeline`) converts instruction
+tallies into cycles with closed-form throughput and DMA-overlap formulas.
+This module provides the ground truth those formulas approximate: a
+cycle-by-cycle simulation of the fine-grained multithreaded pipeline —
+
+* one instruction issues per cycle, round-robin over eligible tasklets;
+* two instructions of the *same* tasklet must be ``issue_spacing`` cycles
+  apart (the revolver pipeline constraint);
+* an emulated operation (softfloat add, integer multiply, ...) is a sequence
+  of that many unit instructions of its tasklet;
+* an MRAM access issues its setup instructions, then stalls its tasklet
+  until the (serial, FIFO) DMA engine finishes the transfer.
+
+Programs come from tracing real kernels: :class:`~repro.isa.CycleCounter`
+records an instruction stream when given a trace list.  The test suite runs
+the same kernels through both models and bounds their disagreement — the
+validation behind DESIGN.md's pipeline-model substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pim.config import DPUConfig, UPMEM_DPU
+
+__all__ = ["Instr", "SimResult", "simulate", "trace_to_program"]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One traced operation: ``slots`` unit instructions, plus optional DMA.
+
+    ``dma_cycles > 0`` marks an MRAM access: after its setup slots issue, the
+    tasklet blocks until the DMA engine has spent that many cycles on its
+    transaction.
+    """
+
+    slots: int
+    dma_cycles: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of a cycle-accurate run."""
+
+    cycles: int
+    issued: int                 # unit instructions issued
+    idle_cycles: int            # cycles with no eligible tasklet
+    dma_busy_cycles: int        # cycles the DMA engine was active
+    per_tasklet_finish: List[int] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        return self.issued / self.cycles if self.cycles else 0.0
+
+
+class _TaskletState:
+    __slots__ = ("program", "pc", "units_left", "last_issue",
+                 "waiting_dma", "finish")
+
+    def __init__(self, program: Sequence[Instr]):
+        self.program = program
+        self.pc = 0
+        self.units_left = program[0].slots if program else 0
+        self.last_issue = -(10 ** 9)
+        self.waiting_dma = False
+        self.finish = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program)
+
+    def current(self) -> Instr:
+        return self.program[self.pc]
+
+
+def simulate(
+    programs: Sequence[Sequence[Instr]],
+    config: DPUConfig = UPMEM_DPU,
+    max_cycles: int = 100_000_000,
+) -> SimResult:
+    """Run one program per tasklet to completion; return the cycle count."""
+    if not programs:
+        raise ConfigurationError("need at least one tasklet program")
+    if len(programs) > config.max_tasklets:
+        raise ConfigurationError(
+            f"{len(programs)} tasklets exceed the core's "
+            f"{config.max_tasklets}"
+        )
+    spacing = config.issue_spacing
+    tasklets = [_TaskletState(list(p)) for p in programs]
+    # Serial FIFO DMA engine: (tasklet index, remaining cycles).
+    dma_queue: List[List[int]] = []
+
+    cycle = 0
+    issued = 0
+    idle = 0
+    dma_busy = 0
+    rr = 0  # round-robin pointer
+
+    def all_done() -> bool:
+        return all(t.done for t in tasklets) and not dma_queue
+
+    while not all_done():
+        if cycle >= max_cycles:
+            raise SimulationError("cycle-accurate simulation did not finish")
+
+        # DMA engine: one cycle of work on the head transaction.
+        if dma_queue:
+            dma_busy += 1
+            dma_queue[0][1] -= 1
+            if dma_queue[0][1] <= 0:
+                owner = dma_queue.pop(0)[0]
+                tasklets[owner].waiting_dma = False
+
+        # Issue stage: first eligible tasklet in round-robin order.
+        chosen = -1
+        for k in range(len(tasklets)):
+            idx = (rr + k) % len(tasklets)
+            t = tasklets[idx]
+            if (not t.done and not t.waiting_dma
+                    and cycle - t.last_issue >= spacing
+                    and t.units_left > 0):
+                chosen = idx
+                break
+        if chosen < 0:
+            idle += 1
+        else:
+            t = tasklets[chosen]
+            t.last_issue = cycle
+            t.units_left -= 1
+            issued += 1
+            rr = (chosen + 1) % len(tasklets)
+            if t.units_left == 0:
+                instr = t.current()
+                if instr.dma_cycles > 0:
+                    t.waiting_dma = True
+                    dma_queue.append([chosen, instr.dma_cycles])
+                t.pc += 1
+                if not t.done:
+                    t.units_left = t.current().slots
+                t.finish = cycle + 1
+        cycle += 1
+
+    return SimResult(
+        cycles=cycle,
+        issued=issued,
+        idle_cycles=idle,
+        dma_busy_cycles=dma_busy,
+        per_tasklet_finish=[t.finish for t in tasklets],
+    )
+
+
+def trace_to_program(trace: Sequence[tuple]) -> List[Instr]:
+    """Convert a :class:`CycleCounter` op trace into a tasklet program.
+
+    The trace entries are ``(name, slots, dma_cycles)`` tuples as recorded by
+    ``CycleCounter(trace_ops=[...])``.
+    """
+    return [Instr(slots=max(1, int(slots)), dma_cycles=int(dma))
+            for (_name, slots, dma) in trace]

@@ -1,0 +1,139 @@
+"""The full PIM system: many PIM cores plus host transfer links.
+
+Workloads in the paper (Figure 9) run on 2545 PIM cores with 16 tasklets
+each.  Work is distributed evenly across cores (SPMD), inputs are scattered
+host->PIM, results gathered PIM->host, and the kernel time is the slowest
+core's time — with even distribution, the representative core's time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.pim.config import SystemConfig, UPMEM_SYSTEM
+from repro.pim.dpu import DPU, Kernel, KernelResult
+
+__all__ = ["PIMSystem", "SystemRunResult"]
+
+
+@dataclass
+class SystemRunResult:
+    """Timing breakdown for a whole-system kernel launch."""
+
+    n_elements: int
+    n_dpus_used: int
+    tasklets: int
+    kernel_seconds: float        # time on the (representative) slowest core
+    host_to_pim_seconds: float   # scattering inputs
+    pim_to_host_seconds: float   # gathering outputs
+    launch_seconds: float        # fixed launch overhead
+    per_dpu: KernelResult
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.kernel_seconds
+            + self.host_to_pim_seconds
+            + self.pim_to_host_seconds
+            + self.launch_seconds
+        )
+
+    @property
+    def compute_only_seconds(self) -> float:
+        """Kernel time excluding transfers (the Figure 1(c) deployment)."""
+        return self.kernel_seconds + self.launch_seconds
+
+
+class PIMSystem:
+    """A collection of identical PIM cores fed by a host processor."""
+
+    def __init__(
+        self,
+        config: SystemConfig = UPMEM_SYSTEM,
+        costs: OpCosts = UPMEM_COSTS,
+    ):
+        self.config = config
+        self.costs = costs
+        #: Representative core used for SPMD timing and table placement.
+        self.dpu = DPU(config.dpu, costs)
+
+    def elements_per_dpu(self, n_elements: int) -> int:
+        """Even SPMD split, rounded up (the slowest core's share)."""
+        return -(-n_elements // self.config.n_dpus)
+
+    def run(
+        self,
+        kernel: Kernel,
+        inputs: Sequence[float],
+        tasklets: int = 16,
+        sample_size: int = 64,
+        bytes_in_per_element: int = 4,
+        bytes_out_per_element: int = 4,
+        include_transfers: bool = True,
+        balanced_transfers: bool = True,
+        imbalance: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        virtual_n: Optional[int] = None,
+    ) -> SystemRunResult:
+        """Simulate a whole-system run of ``kernel`` over ``inputs``.
+
+        ``include_transfers=False`` models the in-PIM-pipeline deployment of
+        Figure 1(c), where operands already live in the PIM cores' banks.
+        ``virtual_n`` treats ``inputs`` as a sample standing in for that many
+        elements (e.g. the paper's 10M options traced from a 10k sample).
+        ``balanced_transfers=False`` models unequal per-bank buffers, which
+        the hardware cannot scatter/gather in parallel (Section 2.1) — they
+        serialize at the single-bank bandwidth.  ``imbalance`` models uneven
+        work distribution: the slowest core receives ``(1 + imbalance)``
+        times the fair share, and the whole launch waits for it (SPMD
+        barrier at the gather).
+        """
+        if imbalance < 0:
+            raise SimulationError("imbalance must be non-negative")
+        inputs = np.asarray(inputs, dtype=np.float32)
+        n = int(virtual_n if virtual_n is not None else inputs.shape[0])
+        if n == 0 or inputs.shape[0] == 0:
+            raise SimulationError("cannot run a system kernel over empty input")
+
+        per_core = self.elements_per_dpu(n)
+        n_used = min(self.config.n_dpus, -(-n // per_core))
+
+        # The representative core traces a sample drawn from the full input
+        # distribution but runs its per-core share of elements.
+        core_result = self.dpu.run_kernel(
+            kernel,
+            inputs,
+            tasklets=tasklets,
+            sample_size=sample_size,
+            bytes_in_per_element=bytes_in_per_element,
+            bytes_out_per_element=bytes_out_per_element,
+            rng=rng,
+            virtual_n=n,
+        )
+        share = per_core / n * (1.0 + imbalance)
+        kernel_seconds = core_result.seconds * share
+
+        if include_transfers:
+            h2p = self.config.host_to_pim_seconds(
+                n * bytes_in_per_element, balanced=balanced_transfers)
+            p2h = self.config.pim_to_host_seconds(
+                n * bytes_out_per_element, balanced=balanced_transfers)
+        else:
+            h2p = 0.0
+            p2h = 0.0
+
+        return SystemRunResult(
+            n_elements=n,
+            n_dpus_used=n_used,
+            tasklets=tasklets,
+            kernel_seconds=kernel_seconds,
+            host_to_pim_seconds=h2p,
+            pim_to_host_seconds=p2h,
+            launch_seconds=self.config.launch_overhead_s,
+            per_dpu=core_result,
+        )

@@ -1,0 +1,33 @@
+"""Full workloads: Blackscholes, Sigmoid, Softmax, plus their baselines."""
+
+from repro.workloads.blackscholes import (
+    Blackscholes,
+    OptionBatch,
+    generate_options,
+    reference_call_prices,
+)
+from repro.workloads.cpu_model import (
+    CPU_BLACKSCHOLES,
+    CPU_SIGMOID,
+    CPU_SOFTMAX,
+    CPUModel,
+)
+from repro.workloads.attention import AttentionSoftmax
+from repro.workloads.logreg import LogisticRegression
+from repro.workloads.sigmoid import Sigmoid
+from repro.workloads.softmax import Softmax
+
+__all__ = [
+    "Blackscholes",
+    "OptionBatch",
+    "generate_options",
+    "reference_call_prices",
+    "Sigmoid",
+    "Softmax",
+    "LogisticRegression",
+    "AttentionSoftmax",
+    "CPUModel",
+    "CPU_BLACKSCHOLES",
+    "CPU_SIGMOID",
+    "CPU_SOFTMAX",
+]

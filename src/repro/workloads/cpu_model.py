@@ -1,0 +1,67 @@
+"""Host-CPU baseline timing model for the full workloads (Figure 9).
+
+We do not have the paper's 2-socket, 32-core Xeon (or its pthread C
+baselines), so the CPU side of Figure 9 is an analytic throughput model:
+per-element compute cost for one thread, a parallel-scaling efficiency, and a
+memory-bandwidth floor that caps multithreaded runs of streaming workloads.
+
+Calibration (documented substitutions, see DESIGN.md):
+
+* Blackscholes: ~400 ns per option single-threaded — in line with the PARSEC
+  scalar kernel (one log, one exp, one sqrt, two CNDFs, several divides per
+  option with scalar libm);
+* Sigmoid: ~55 ns per element (scalar ``expf`` plus a divide, plain C loop);
+* Softmax: ~60 ns per element (three passes: max, exp+sum, scale).
+
+These constants set the absolute scale only; the PIM-vs-CPU *ratios* that
+Figure 9 reports additionally depend on the PIM cost model, and both are
+exercised by the sensitivity ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CPUModel",
+    "CPU_BLACKSCHOLES",
+    "CPU_SIGMOID",
+    "CPU_SOFTMAX",
+]
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Analytic CPU execution-time model for one streaming workload."""
+
+    name: str
+    #: Single-thread compute cost per element, seconds.
+    sec_per_element_1t: float
+    #: Bytes touched per element (reads + writes) for the bandwidth floor.
+    bytes_per_element: int
+    #: Parallel scaling efficiency for multithreaded runs.
+    parallel_efficiency: float = 0.85
+    #: Aggregate memory bandwidth of the host (2-socket), bytes/second.
+    memory_bandwidth: float = 80e9
+
+    def seconds(self, n_elements: int, threads: int = 1) -> float:
+        """Modeled execution time for ``n_elements`` on ``threads`` threads."""
+        if threads < 1:
+            raise ConfigurationError("thread count must be at least 1")
+        scale = threads * self.parallel_efficiency if threads > 1 else 1.0
+        compute = n_elements * self.sec_per_element_1t / scale
+        memory = n_elements * self.bytes_per_element / self.memory_bandwidth
+        return max(compute, memory)
+
+
+CPU_BLACKSCHOLES = CPUModel(
+    name="blackscholes", sec_per_element_1t=400e-9, bytes_per_element=24
+)
+CPU_SIGMOID = CPUModel(
+    name="sigmoid", sec_per_element_1t=55e-9, bytes_per_element=8
+)
+CPU_SOFTMAX = CPUModel(
+    name="softmax", sec_per_element_1t=60e-9, bytes_per_element=16
+)

@@ -1,0 +1,62 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.analysis.ablation import (
+    EXPECTED_ORDERINGS,
+    cost_sensitivity,
+    idealized_comparison,
+    method_ordering,
+    tasklet_scaling,
+)
+
+
+class TestMethodOrdering:
+    @pytest.fixture(scope="class")
+    def cycles(self):
+        return method_ordering()
+
+    def test_all_methods_present(self, cycles):
+        assert len(cycles) == 8
+
+    def test_expected_orderings_hold(self, cycles):
+        for fast, slow in EXPECTED_ORDERINGS:
+            assert cycles[fast] < cycles[slow], (fast, slow)
+
+
+class TestCostSensitivity:
+    def test_orderings_robust_to_2x_miscalibration(self):
+        results = cost_sensitivity(scales=(0.5, 2.0))
+        for r in results:
+            assert all(r["orderings"].values()), r["scale"]
+
+
+class TestTaskletScaling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return tasklet_scaling(tasklet_counts=(1, 4, 11, 16))
+
+    def test_saturation_at_eleven(self, rows):
+        mram = {r["tasklets"]: r["cycles_per_element"]
+                for r in rows if r["placement"] == "mram"}
+        assert mram[1] > 2 * mram[11]
+        assert mram[16] == pytest.approx(mram[11], rel=0.02)
+
+    def test_mram_matches_wram_when_saturated(self, rows):
+        at16 = {r["placement"]: r["cycles_per_element"]
+                for r in rows if r["tasklets"] == 16}
+        assert at16["mram"] < 1.1 * at16["wram"]
+
+    def test_mram_penalty_visible_single_tasklet(self, rows):
+        at1 = {r["placement"]: r["cycles_per_element"]
+               for r in rows if r["tasklets"] == 1}
+        assert at1["mram"] > at1["wram"]
+
+
+class TestIdealizedHardware:
+    def test_fp_hardware_compresses_the_gap(self):
+        res = idealized_comparison()
+        gap_upmem = res["upmem"]["mlut_i"] / res["upmem"]["llut"]
+        gap_ideal = res["idealized_fp"]["mlut_i"] / res["idealized_fp"]["llut"]
+        # With single-cycle floats, removing multiplies buys much less.
+        assert gap_ideal < gap_upmem / 2

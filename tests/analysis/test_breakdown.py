@@ -1,0 +1,54 @@
+"""Tests for the instruction-breakdown analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import breakdown, breakdown_report
+from repro.api import make_method
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return np.random.default_rng(2).uniform(0, 6.28, 32).astype(np.float32)
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, inputs):
+        m = make_method("sin", "llut_i", density_log2=10).setup()
+        shares = breakdown(m, inputs)
+        assert sum(s.share for s in shares) == pytest.approx(1.0)
+
+    def test_slots_sum_to_tally(self, inputs):
+        m = make_method("sin", "mlut_i", size=1025).setup()
+        shares = breakdown(m, inputs)
+        total = sum(s.slots_per_element for s in shares)
+        assert total == pytest.approx(m.mean_slots(inputs), rel=1e-6)
+
+    def test_sorted_descending(self, inputs):
+        m = make_method("sin", "cordic", iterations=16).setup()
+        shares = breakdown(m, inputs)
+        slots = [s.slots_per_element for s in shares]
+        assert slots == sorted(slots, reverse=True)
+
+    def test_fmul_dominates_interpolated_lut(self, inputs):
+        """Section 4.2.1: the float multiply count determines the cost."""
+        m = make_method("sin", "llut_i", density_log2=10).setup()
+        shares = breakdown(m, inputs)
+        assert shares[0].op == "fmul"
+        assert shares[0].share > 0.3
+
+    def test_fadd_dominates_float_cordic(self, inputs):
+        m = make_method("sin", "cordic", iterations=24).setup()
+        top = breakdown(m, inputs)[0]
+        assert top.op in ("fadd", "fsub")
+
+    def test_no_multiplies_in_plain_llut(self, inputs):
+        m = make_method("sin", "llut", density_log2=10).setup()
+        ops = {s.op for s in breakdown(m, inputs)}
+        assert "fmul" not in ops
+
+    def test_report_renders(self, inputs):
+        m = make_method("sin", "llut", density_log2=10).setup()
+        out = breakdown_report(m, inputs)
+        assert "instruction breakdown" in out
+        assert "total" in out

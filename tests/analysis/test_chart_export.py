@@ -1,0 +1,113 @@
+"""Tests for ASCII charts and data export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.chart import scatter_chart
+from repro.analysis.export import (
+    fig9_to_json,
+    sweep_to_csv,
+    sweep_to_json,
+    write_csv,
+    write_json,
+)
+from repro.analysis.figures import Fig9Row
+from repro.analysis.sweep import SweepPoint
+from repro.errors import ConfigurationError
+
+
+def _pt(method="llut", rmse=1e-5, cycles=120.0):
+    return SweepPoint(
+        function="sin", method=method, placement="mram", param="d=10",
+        rmse=rmse, max_error=2 * rmse, cycles_per_element=cycles,
+        setup_seconds=1e-4, table_bytes=4096,
+    )
+
+
+class TestScatterChart:
+    def test_basic_render(self):
+        out = scatter_chart({"a": [(1e-6, 100), (1e-4, 100)],
+                             "b": [(1e-6, 5000), (1e-4, 2000)]})
+        assert "o a" in out and "x b" in out
+        assert "log" in out
+
+    def test_markers_placed(self):
+        out = scatter_chart({"only": [(1.0, 1.0), (10.0, 10.0)]},
+                            width=20, height=8)
+        assert out.count("o") >= 2 + 1  # two points + legend marker
+
+    def test_dimensions(self):
+        out = scatter_chart({"s": [(1, 1), (100, 100)]}, width=30, height=10)
+        chart_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(chart_lines) == 10
+
+    def test_extremes_at_edges(self):
+        out = scatter_chart({"s": [(1, 1), (100, 100)]}, width=30, height=10)
+        lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        assert lines[0].rstrip().endswith("o")   # max y, max x: top-right
+        assert lines[-1].lstrip().startswith("o")  # min: bottom-left
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            scatter_chart({"s": [(0.0, 1.0), (1.0, 2.0)]})
+
+    def test_linear_axes_allow_zero(self):
+        out = scatter_chart({"s": [(0.0, 0.0), (1.0, 1.0)]},
+                            log_x=False, log_y=False)
+        assert "lin" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scatter_chart({})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scatter_chart({"s": [(1, 1)]}, width=4, height=2)
+
+
+class TestExport:
+    def test_json_roundtrip(self):
+        points = [_pt(), _pt("mlut", 1e-4, 560.0)]
+        data = json.loads(sweep_to_json(points))
+        assert len(data) == 2
+        assert data[0]["method"] == "llut"
+        assert data[1]["cycles_per_element"] == 560.0
+
+    def test_csv_header_and_rows(self):
+        text = sweep_to_csv([_pt()])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["method"] == "llut"
+        assert float(rows[0]["rmse"]) == 1e-5
+
+    def test_csv_empty(self):
+        assert sweep_to_csv([]) == ""
+
+    def test_fig9_json(self):
+        rows = [Fig9Row("sigmoid", "cpu_32t", 0.06)]
+        data = json.loads(fig9_to_json(rows))
+        assert data[0]["workload"] == "sigmoid"
+
+    def test_file_writers(self, tmp_path):
+        points = [_pt()]
+        write_json(tmp_path / "p.json", points)
+        write_csv(tmp_path / "p.csv", points)
+        assert json.loads((tmp_path / "p.json").read_text())[0]["param"] == "d=10"
+        assert "llut" in (tmp_path / "p.csv").read_text()
+
+
+class TestChartOnRealSweep:
+    def test_fig5_shape_visible(self):
+        from repro.analysis.sweep import default_inputs, sweep_method
+        inputs = default_inputs("sin", n=1024)
+        cordic = sweep_method("sin", "cordic", "iterations", (8, 16, 24),
+                              inputs=inputs, sample_size=8)
+        llut = sweep_method("sin", "llut", "density_log2", (10, 14, 18),
+                            inputs=inputs, sample_size=8)
+        out = scatter_chart({
+            "cordic": [(p.rmse, p.cycles_per_element) for p in cordic],
+            "llut": [(p.rmse, p.cycles_per_element) for p in llut],
+        }, x_label="rmse", y_label="cycles/elem")
+        assert "cordic" in out and "llut" in out

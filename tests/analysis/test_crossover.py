@@ -1,0 +1,36 @@
+"""Tests for the CORDIC-vs-LUT amortization crossover (Key Takeaway 2)."""
+
+import pytest
+
+from repro.analysis.crossover import amortization_crossover
+from repro.analysis.sweep import default_inputs, sweep_method
+
+
+@pytest.fixture(scope="module")
+def points():
+    inputs = default_inputs("sin", n=4096)
+    pts = []
+    pts += sweep_method("sin", "cordic", "iterations", (20, 24, 28, 32),
+                        inputs=inputs, sample_size=8)
+    pts += sweep_method("sin", "llut_i", "density_log2", (9, 11, 13),
+                        inputs=inputs, sample_size=8)
+    return pts
+
+
+class TestCrossover:
+    def test_exists_at_high_accuracy(self, points):
+        res = amortization_crossover(points, rmse_target=1e-7)
+        assert res is not None
+
+    def test_order_of_magnitude_matches_paper(self, points):
+        """The paper reports ~40 operations; we accept the same decade."""
+        res = amortization_crossover(points, rmse_target=1e-7)
+        assert 3 <= res.elements_to_amortize <= 400
+
+    def test_components_consistent(self, points):
+        res = amortization_crossover(points, rmse_target=1e-7)
+        assert res.cycles_flat > res.cycles_fast
+        assert res.setup_fast_s > res.setup_flat_s
+
+    def test_none_when_unreachable(self, points):
+        assert amortization_crossover(points, rmse_target=1e-15) is None

@@ -1,0 +1,100 @@
+"""Assert the qualitative observations of Section 4.2.1 (Figure 5).
+
+These tests pin the reproduction's headline claims: the relative method
+ordering that the paper's key takeaways rest on.  They run a reduced sweep
+(fewer points, fewer traced samples) to stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import default_inputs, sweep_method
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return default_inputs("sin", n=4096)
+
+
+def _one(inputs, method, param_name, value, placement="mram", extra=None):
+    points = sweep_method("sin", method, param_name, (value,),
+                          placement=placement, inputs=inputs,
+                          sample_size=16, extra_params=extra)
+    return points[0]
+
+
+class TestObservation1LutOrdering:
+    """L-LUT beats M-LUT; the float-multiply count decides the cost."""
+
+    def test_non_interpolated_llut_cuts_mlut_by_most(self, inputs):
+        llut = _one(inputs, "llut", "density_log2", 14)
+        mlut = _one(inputs, "mlut", "size", 1 << 14)
+        reduction = 1 - llut.cycles_per_element / mlut.cycles_per_element
+        assert reduction > 0.6  # paper: ~80%
+
+    def test_interpolated_llut_cuts_mlut(self, inputs):
+        llut = _one(inputs, "llut_i", "density_log2", 11)
+        mlut = _one(inputs, "mlut_i", "size", (1 << 11) + 1)
+        reduction = 1 - llut.cycles_per_element / mlut.cycles_per_element
+        assert reduction > 0.15  # paper: ~50%; see EXPERIMENTS.md
+
+    def test_fixed_interpolated_at_least_doubles(self, inputs):
+        fx = _one(inputs, "llut_i_fx", "density_log2", 11)
+        fl = _one(inputs, "llut_i", "density_log2", 11)
+        assert fl.cycles_per_element > 2 * fx.cycles_per_element
+
+    def test_fixed_non_interpolated_does_not_improve(self, inputs):
+        """Neither variant multiplies; the fixed one pays conversions."""
+        fx = _one(inputs, "llut_fx", "density_log2", 14)
+        fl = _one(inputs, "llut", "density_log2", 14)
+        assert 0.5 < fx.cycles_per_element / fl.cycles_per_element < 2.5
+
+
+class TestObservation2CordicGrowth:
+    def test_cordic_grows_with_accuracy(self, inputs):
+        lo = _one(inputs, "cordic", "iterations", 12)
+        hi = _one(inputs, "cordic", "iterations", 28)
+        assert hi.cycles_per_element > 1.8 * lo.cycles_per_element
+        assert hi.rmse < lo.rmse / 100
+
+    def test_cordic_lut_faster_than_cordic(self, inputs):
+        cordic = _one(inputs, "cordic", "iterations", 24)
+        hybrid = _one(inputs, "cordic_lut", "iterations", 24,
+                      extra={"lut_bits": 8})
+        assert hybrid.cycles_per_element < cordic.cycles_per_element
+
+
+class TestObservation3BestTradeoff:
+    def test_interpolated_llut_dominates_cordic_at_high_accuracy(self, inputs):
+        llut = _one(inputs, "llut_i", "density_log2", 12)
+        cordic = _one(inputs, "cordic", "iterations", 28)
+        assert llut.rmse < cordic.rmse
+        assert llut.cycles_per_element < cordic.cycles_per_element / 3
+
+
+class TestObservation4Placement:
+    def test_mram_close_to_wram(self, inputs):
+        """No significant MRAM-vs-WRAM difference (DMA latency hidden)."""
+        mram = _one(inputs, "llut_i", "density_log2", 10, placement="mram")
+        wram = _one(inputs, "llut_i", "density_log2", 10, placement="wram")
+        assert mram.cycles_per_element < 1.1 * wram.cycles_per_element
+
+    def test_wram_capacity_limits_accuracy(self, inputs):
+        """The WRAM curve must stop earlier than the MRAM one."""
+        from repro.analysis.sweep import sweep_method
+        densities = (10, 14, 18)
+        mram = sweep_method("sin", "llut", "density_log2", densities,
+                            placement="mram", inputs=inputs, sample_size=8)
+        wram = sweep_method("sin", "llut", "density_log2", densities,
+                            placement="wram", inputs=inputs, sample_size=8)
+        assert len(wram) < len(mram)
+        assert min(p.rmse for p in mram) < min(p.rmse for p in wram)
+
+
+class TestObservation5AccuracyFloor:
+    def test_interpolated_llut_saturates(self, inputs):
+        a = _one(inputs, "llut_i", "density_log2", 13)
+        b = _one(inputs, "llut_i", "density_log2", 15)
+        # Denser table no longer buys accuracy: the float32 floor.
+        assert b.rmse > a.rmse / 3
+        assert a.rmse < 1e-7

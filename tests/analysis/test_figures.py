@@ -1,0 +1,133 @@
+"""Tests for the figure/table harnesses (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    Fig9Row,
+    fig8_data,
+    fig8_report,
+    fig9_data,
+    fig9_report,
+    table2_report,
+)
+from repro.analysis.report import format_series, format_table
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+
+    def test_format_series(self):
+        out = format_series("s", [(1.0, 2.0)], "rmse", "cycles")
+        assert "rmse -> cycles" in out
+
+
+class TestTable2:
+    def test_contains_all_methods_and_functions(self):
+        out = table2_report()
+        for m in ("cordic", "mlut_i", "llut_i_fx", "dllut"):
+            assert m in out
+        for f in ("sin", "gelu", "sqrt"):
+            assert f in out
+
+    def test_marks(self):
+        out = table2_report()
+        # dlut row must not support sin: find the row and check.
+        row = next(line for line in out.splitlines()
+                   if line.startswith("dlut "))
+        assert "." in row and "x" in row
+
+
+class TestFig8:
+    def test_orderings(self):
+        data = fig8_data(n_samples=64)
+        assert set(data) == {"sin", "exp", "log", "sqrt"}
+        assert data["sqrt"] < data["log"] < data["sin"]
+
+    def test_report_renders(self):
+        out = fig8_report(fig8_data(n_samples=16))
+        assert "Figure 8" in out and "sqrt" in out
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9_data(n_blackscholes=1_000_000, n_vector=3_000_000,
+                         trace_elements=2000)
+
+    def test_all_configurations_present(self, rows):
+        combos = {(r.workload, r.config) for r in rows}
+        assert ("blackscholes", "pim_llut_i_fx") in combos
+        assert ("sigmoid", "cpu_32t") in combos
+        assert ("softmax", "pim_poly") in combos
+        assert len(combos) == len(rows)
+
+    def _time(self, rows, workload, config):
+        return next(r.seconds for r in rows
+                    if r.workload == workload and r.config == config)
+
+    def test_cpu_32t_beats_cpu_1t(self, rows):
+        for wl in ("blackscholes", "sigmoid", "softmax"):
+            assert self._time(rows, wl, "cpu_32t") < \
+                self._time(rows, wl, "cpu_1t") / 10
+
+    def test_poly_baseline_slowest_pim(self, rows):
+        for wl in ("blackscholes", "sigmoid", "softmax"):
+            assert self._time(rows, wl, "pim_poly") > \
+                self._time(rows, wl, "pim_llut_i")
+
+    def test_blackscholes_fixed_beats_cpu(self, rows):
+        """The paper's headline: fixed-point Blackscholes outperforms the
+        32-thread CPU baseline."""
+        assert self._time(rows, "blackscholes", "pim_llut_i_fx") < \
+            self._time(rows, "blackscholes", "cpu_32t")
+
+    def test_sigmoid_cpu_ahead_but_competitive(self, rows):
+        """Figure 9: the 32-thread CPU is ~2x faster than PIM for sigmoid."""
+        ratio = self._time(rows, "sigmoid", "pim_llut_i") / \
+            self._time(rows, "sigmoid", "cpu_32t")
+        assert 1.0 < ratio < 5.0
+
+    def test_pim_beats_single_thread_cpu(self, rows):
+        for wl in ("blackscholes", "sigmoid", "softmax"):
+            assert self._time(rows, wl, "pim_llut_i") < \
+                self._time(rows, wl, "cpu_1t")
+
+    def test_report_renders(self, rows):
+        out = fig9_report(rows)
+        assert "Figure 9" in out
+        assert "blackscholes" in out
+
+
+class TestFig567Reports:
+    @pytest.fixture(scope="class")
+    def mini_points(self):
+        from repro.analysis.sweep import default_inputs, sweep_method
+        inputs = default_inputs("sin", n=1024)
+        pts = []
+        pts += sweep_method("sin", "llut", "density_log2", (10, 14),
+                            inputs=inputs, sample_size=8)
+        pts += sweep_method("sin", "cordic", "iterations", (8, 16),
+                            inputs=inputs, sample_size=8)
+        return pts
+
+    def test_fig5_report(self, mini_points):
+        from repro.analysis.figures import fig5_report
+        out = fig5_report(mini_points)
+        assert "Figure 5" in out and "cycles/elem" in out
+        assert "llut" in out and "cordic" in out
+
+    def test_fig6_report(self, mini_points):
+        from repro.analysis.figures import fig6_report
+        out = fig6_report(mini_points)
+        assert "Figure 6" in out and "setup_s" in out
+
+    def test_fig7_report(self, mini_points):
+        from repro.analysis.figures import fig7_report
+        out = fig7_report(mini_points)
+        assert "Figure 7" in out and "bytes" in out

@@ -1,0 +1,39 @@
+"""Tests for kernel listings."""
+
+import pytest
+
+from repro.analysis.listing import kernel_listing, listing_report
+from repro.api import make_method
+
+
+class TestListing:
+    def test_llut_sequence(self):
+        m = make_method("sin", "llut", density_log2=10,
+                        placement="wram").setup()
+        ops = [op for op, _, _ in kernel_listing(m, 1.0)]
+        # The documented non-interpolated L-LUT sequence.
+        assert ops[0] == "fadd"         # magic add
+        assert "bitcast" in ops
+        assert "iand" in ops
+        assert "wram_read" in ops
+        assert "fmul" not in ops        # the whole point
+
+    def test_offsets_accumulate(self):
+        m = make_method("sin", "llut_i", density_log2=10).setup()
+        trace = kernel_listing(m, 1.0)
+        total = sum(s for _, s, _ in trace)
+        assert total == m.element_tally(1.0).slots
+
+    def test_report_renders_and_truncates(self):
+        m = make_method("sin", "cordic", iterations=24).setup()
+        out = listing_report(m, 1.0, max_rows=10)
+        assert "kernel listing" in out
+        assert "more ops" in out
+        assert "total" in out
+
+    def test_dma_column_for_mram(self):
+        m = make_method("sin", "llut", density_log2=10,
+                        placement="mram").setup()
+        out = listing_report(m, 1.0)
+        assert "dma" in out
+        assert "mram_read" in out

@@ -1,0 +1,93 @@
+"""Tests for Pareto-frontier extraction."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    dominates,
+    frontier_methods_by_accuracy,
+    frontier_report,
+    pareto_frontier,
+)
+from repro.analysis.sweep import SweepPoint
+
+
+def _pt(method, rmse, cycles, mem, param="p"):
+    return SweepPoint(
+        function="sin", method=method, placement="mram", param=param,
+        rmse=rmse, max_error=rmse * 2, cycles_per_element=cycles,
+        setup_seconds=1e-5, table_bytes=mem,
+    )
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        a = _pt("a", 1e-7, 100, 1000)
+        b = _pt("b", 1e-6, 200, 2000)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_incomparable(self):
+        a = _pt("a", 1e-7, 500, 1000)   # accurate but slow
+        b = _pt("b", 1e-5, 100, 1000)   # fast but coarse
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = _pt("a", 1e-6, 100, 100)
+        b = _pt("b", 1e-6, 100, 100)
+        assert not dominates(a, b)
+
+    def test_epsilon_dominance(self):
+        # a is 1% worse in memory but 5x faster: dominates at 2% tolerance.
+        a = _pt("a", 1e-6, 100, 101)
+        b = _pt("b", 1e-6, 500, 100)
+        assert not dominates(a, b)
+        assert dominates(a, b, tolerance=0.02)
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        pts = [
+            _pt("good", 1e-7, 100, 1000),
+            _pt("bad", 1e-6, 200, 2000),
+            _pt("other", 1e-8, 500, 4000),
+        ]
+        frontier = pareto_frontier(pts)
+        methods = {p.method for p in frontier}
+        assert methods == {"good", "other"}
+
+    def test_sorted_by_decreasing_rmse(self):
+        pts = [_pt("a", 1e-8, 500, 100), _pt("b", 1e-4, 50, 10)]
+        frontier = pareto_frontier(pts)
+        assert frontier[0].rmse > frontier[-1].rmse
+
+    def test_real_sweep_frontier(self):
+        """At matched table spacing, the M-LUT is dominated by the L-LUT
+        (same accuracy, same memory, fewer cycles — Key Takeaway 1)."""
+        import math
+
+        from repro.analysis.sweep import default_inputs, sweep_method
+        inputs = default_inputs("sin", n=2048)
+        pts = []
+        pts += sweep_method("sin", "llut", "density_log2", (10, 14),
+                            inputs=inputs, sample_size=8)
+        # Equal-spacing M-LUTs: size = range * density + 1.
+        sizes = tuple(int(math.ceil(2 * math.pi * 2 ** n)) + 1
+                      for n in (10, 14))
+        pts += sweep_method("sin", "mlut", "size", sizes,
+                            inputs=inputs, sample_size=8)
+        # 2% epsilon-dominance absorbs the guard-entry rounding noise.
+        frontier = pareto_frontier(pts, tolerance=0.02)
+        methods = {p.method for p in frontier}
+        assert "llut" in methods
+        assert all(p.method != "mlut" for p in frontier)
+
+
+class TestReport:
+    def test_bands_and_report(self):
+        pts = [_pt("a", 5e-5, 100, 10), _pt("b", 5e-7, 300, 100)]
+        bands = frontier_methods_by_accuracy(pts)
+        assert any("a" in m for m in bands.values())
+        out = frontier_report(pts)
+        assert "Pareto frontier" in out
+        assert "rmse band" in out

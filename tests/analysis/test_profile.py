@@ -1,0 +1,54 @@
+"""Tests for the error-profile diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import error_profile, profile_report
+from repro.api import make_method
+
+
+class TestProfile:
+    def test_bins_cover_domain(self):
+        m = make_method("sin", "llut_i", density_log2=10,
+                        assume_in_range=False).setup()
+        bins = error_profile(m, n_bins=8)
+        assert len(bins) == 8
+        assert bins[0].lo == pytest.approx(m.spec.bench_domain[0])
+        assert bins[-1].hi == pytest.approx(m.spec.bench_domain[1])
+        for a, b in zip(bins, bins[1:]):
+            assert a.hi == pytest.approx(b.lo)
+
+    def test_peak_at_least_rms(self):
+        m = make_method("sin", "llut", density_log2=10,
+                        assume_in_range=False).setup()
+        for b in error_profile(m, n_bins=8):
+            assert b.peak >= b.rms
+
+    def test_finds_the_dlut_gap(self):
+        """The diagnostic that motivated this tool: D-LUT's error spike in
+        its structural gap below 2^e_min."""
+        m = make_method("tanh", "dlut", mant_bits=8, e_min=-3,
+                        assume_in_range=False).setup()
+        bins = error_profile(m, n_bins=32, domain=(-1.0, 1.0))
+        worst = max(bins, key=lambda b: b.rms)
+        # The worst bin straddles zero, where inputs clamp to the first cell.
+        assert worst.lo < 0.125 and worst.hi > -0.125
+
+    def test_finds_atanh_pole_pressure(self):
+        m = make_method("atanh", "llut_i", density_log2=10,
+                        assume_in_range=False).setup()
+        bins = error_profile(m, n_bins=16)
+        assert bins[-1].rms > 10 * bins[8].rms  # error concentrates at +0.95
+
+    def test_custom_domain(self):
+        m = make_method("exp", "llut_i", density_log2=12,
+                        assume_in_range=False).setup()
+        bins = error_profile(m, n_bins=4, domain=(0.0, 1.0))
+        assert bins[0].lo == 0.0 and bins[-1].hi == 1.0
+
+    def test_report_renders(self):
+        m = make_method("sin", "llut_i", density_log2=10,
+                        assume_in_range=False).setup()
+        out = profile_report(m, n_bins=8)
+        assert "error profile" in out
+        assert "#" in out  # at least one bar

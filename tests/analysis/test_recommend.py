@@ -1,0 +1,66 @@
+"""Tests for the method recommender (the key takeaways as a policy)."""
+
+import pytest
+
+from repro.analysis.recommend import Recommendation, Requirements, recommend
+from repro.errors import ConfigurationError
+
+
+class TestBasicOperation:
+    def test_returns_ranked_candidates(self):
+        recs = recommend("sin", Requirements(rmse_target=1e-5), top_k=3)
+        assert 1 <= len(recs) <= 3
+        totals = [r.total_seconds for r in recs]
+        assert totals == sorted(totals)
+
+    def test_all_meet_accuracy(self):
+        recs = recommend("sin", Requirements(rmse_target=1e-5))
+        assert all(r.rmse <= 1e-5 for r in recs)
+
+    def test_all_meet_memory_budget(self):
+        req = Requirements(rmse_target=1e-5, memory_budget=64 * 1024)
+        recs = recommend("sin", req)
+        assert all(r.table_bytes <= 64 * 1024 for r in recs)
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ConfigurationError):
+            recommend("sin", Requirements(rmse_target=1e-15))
+
+    def test_rationale_present(self):
+        recs = recommend("tanh", Requirements(rmse_target=1e-5))
+        assert all(isinstance(r.rationale, str) and r.rationale for r in recs)
+
+
+class TestTakeawayLogic:
+    def test_few_evaluations_favor_cordic(self):
+        """Key Takeaway 2: CORDIC wins when the kernel computes only a few
+        transcendental operations (its setup is flat)."""
+        few = recommend("sin", Requirements(rmse_target=1e-5, evaluations=5))
+        assert few[0].method in ("cordic", "cordic_fx", "cordic_lut")
+
+    def test_many_evaluations_favor_luts(self):
+        """Key Takeaway 1: L-LUTs win for throughput-bound kernels."""
+        many = recommend("sin", Requirements(rmse_target=1e-5,
+                                             evaluations=100_000_000))
+        assert "lut" in many[0].method or many[0].method == "cordic_fx"
+        assert many[0].cycles_per_element < 1500
+
+    def test_tiny_memory_budget_excludes_big_tables(self):
+        """Key Takeaway 3: CORDIC under tight memory at high accuracy."""
+        req = Requirements(rmse_target=1e-6, memory_budget=512)
+        recs = recommend("sin", req)
+        assert all(r.table_bytes <= 512 for r in recs)
+        assert recs[0].method.startswith("cordic")
+
+    def test_activation_functions_get_dlut_family(self):
+        """Key Takeaway 4: D-LUT/DL-LUT for tanh-shaped functions."""
+        recs = recommend("tanh", Requirements(rmse_target=1e-5,
+                                              evaluations=100_000_000),
+                         top_k=3)
+        assert any("dlut" in r.method or "dllut" in r.method for r in recs)
+
+    def test_wram_only_respects_budget(self):
+        from repro.analysis.sweep import WRAM_TABLE_BUDGET
+        req = Requirements(rmse_target=1e-4, wram_only=True)
+        recs = recommend("sin", req)
+        assert all(r.table_bytes <= WRAM_TABLE_BUDGET for r in recs)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.isa.counter import CycleCounter
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def ctx():
+    """A fresh cycle counter with the default UPMEM cost model."""
+    return CycleCounter()
+
+
+@pytest.fixture
+def sine_inputs(rng):
+    """Uniform random angles in [0, 2*pi), float32 (the paper's microbench)."""
+    return rng.uniform(0.0, 2.0 * np.pi, 2048).astype(np.float32)

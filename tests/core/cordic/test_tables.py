@@ -1,0 +1,122 @@
+"""Tests for CORDIC tables, gains, schedules, and the paper's Table 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cordic.tables import (
+    CIRCULAR_ANGLE_FRAC_BITS,
+    TABLE1,
+    circular_angle_table,
+    circular_gain,
+    hyperbolic_angle_table,
+    hyperbolic_gain,
+    hyperbolic_schedule,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCircularTables:
+    def test_first_angle_is_45_degrees(self):
+        table = circular_angle_table(4)
+        # atan(1) = pi/4 = 0.5 quarter-turns.
+        assert table[0] == round(0.5 * (1 << CIRCULAR_ANGLE_FRAC_BITS))
+
+    def test_angles_decrease(self):
+        table = circular_angle_table(24)
+        assert all(a > b for a, b in zip(table, table[1:]))
+
+    def test_angles_roughly_halve(self):
+        table = circular_angle_table(24).astype(float)
+        ratios = table[4:] / table[3:-1]
+        assert np.allclose(ratios, 0.5, atol=0.02)
+
+    def test_angle_sum_exceeds_quadrant(self):
+        # Convergence over [0, 1) quarter-turns requires the total rotation
+        # capability to exceed 1.
+        table = circular_angle_table(24)
+        assert table.sum() > (1 << CIRCULAR_ANGLE_FRAC_BITS)
+
+    def test_gain_value(self):
+        # K = prod 1/sqrt(1+2^-2i) -> ~0.60725 for many iterations.
+        assert circular_gain(30) == pytest.approx(0.6072529350088813, rel=1e-9)
+
+    def test_gain_with_start(self):
+        assert circular_gain(10, start=2) == pytest.approx(
+            np.prod([1 / math.sqrt(1 + 4.0 ** -i) for i in range(2, 12)])
+        )
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            circular_angle_table(0)
+
+
+class TestHyperbolicSchedule:
+    def test_starts_at_one(self):
+        assert hyperbolic_schedule(3) == [1, 2, 3]
+
+    def test_repeats_four(self):
+        sched = hyperbolic_schedule(6)
+        assert sched == [1, 2, 3, 4, 4, 5]
+
+    def test_repeats_thirteen(self):
+        sched = hyperbolic_schedule(20)
+        assert sched.count(4) == 2
+        assert sched.count(13) == 2
+
+    def test_length(self):
+        for n in (1, 5, 17, 40):
+            assert len(hyperbolic_schedule(n)) == n
+
+    def test_convergence_range(self):
+        # sum of atanh(2^-i) over the repeated schedule ~ 1.118.
+        sched = hyperbolic_schedule(40)
+        total = sum(math.atanh(2.0 ** -i) for i in sched)
+        assert total > 1.11
+
+    def test_angle_table_follows_schedule(self):
+        sched = hyperbolic_schedule(8)
+        table = hyperbolic_angle_table(sched)
+        assert table[3] == table[4]  # the repeated i=4 step
+
+    def test_gain_below_one(self):
+        assert 0 < hyperbolic_gain(hyperbolic_schedule(20)) < 1
+
+
+class TestTable1:
+    """Verify the identities behind the paper's Table 1."""
+
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.mode)
+    def test_matrix_determinant_matches_stretch(self, row):
+        # |det M_i| = k_i^2 for circular/hyperbolic, 1 for linear.
+        for i in range(0, 6):
+            det = abs(np.linalg.det(row.matrix(i, +1)))
+            assert det == pytest.approx(row.stretch(i) ** 2, rel=1e-12)
+
+    def test_circular_matrix_rotates_by_angle(self):
+        row = TABLE1[0]
+        for i in range(0, 5):
+            m = row.matrix(i, +1) / row.stretch(i)
+            angle = math.atan2(m[1, 0], m[0, 0])
+            assert angle == pytest.approx(row.angle(i), rel=1e-12)
+
+    def test_hyperbolic_matrix_is_hyperbolic_rotation(self):
+        row = TABLE1[1]
+        for i in range(1, 5):
+            m = row.matrix(i, +1) / row.stretch(i)
+            # cosh(phi) on the diagonal, sinh(phi) off it.
+            phi = row.angle(i)
+            assert m[0, 0] == pytest.approx(math.cosh(phi), rel=1e-12)
+            assert m[0, 1] == pytest.approx(math.sinh(phi), rel=1e-12)
+
+    def test_linear_mode_has_unit_stretch(self):
+        row = TABLE1[2]
+        assert all(row.stretch(i) == 1.0 for i in range(8))
+
+    def test_function_coverage(self):
+        circular, hyperbolic, linear = TABLE1
+        assert "sin" in circular.functions
+        assert "exp" in hyperbolic.functions
+        assert "sqrt" in hyperbolic.functions
+        assert "division" in linear.functions

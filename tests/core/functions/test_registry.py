@@ -1,0 +1,77 @@
+"""Tests for the function registry and reference implementations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.functions.registry import FUNCTIONS, TWO_PI, get_function, reference
+from repro.errors import ConfigurationError
+
+
+class TestReferences:
+    @pytest.mark.parametrize("name,fn", [
+        ("sin", math.sin), ("cos", math.cos), ("tan", math.tan),
+        ("sinh", math.sinh), ("cosh", math.cosh), ("tanh", math.tanh),
+        ("exp", math.exp), ("log", math.log), ("sqrt", math.sqrt),
+    ])
+    def test_elementary_match_math(self, name, fn):
+        xs = np.array([0.3, 0.9, 1.4])
+        np.testing.assert_allclose(
+            reference(name, xs), [fn(x) for x in xs], rtol=1e-14
+        )
+
+    def test_gelu_at_zero_and_symmetry(self):
+        assert reference("gelu", np.array([0.0]))[0] == 0.0
+        x = 1.3
+        g_pos, g_neg = reference("gelu", np.array([x, -x]))
+        assert g_neg == pytest.approx(g_pos - x, abs=1e-14)
+
+    def test_sigmoid_midpoint(self):
+        assert reference("sigmoid", np.array([0.0]))[0] == 0.5
+
+    def test_cndf_values(self):
+        out = reference("cndf", np.array([0.0, 1.959964]))
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(0.975, abs=1e-4)
+
+    def test_ref_scalar(self):
+        assert get_function("sin").ref_scalar(math.pi / 2) == pytest.approx(1.0)
+
+
+class TestSpecConsistency:
+    def test_all_functions_registered(self):
+        # 12 paper functions + 11 extensions (see support matrix docstring).
+        assert len(FUNCTIONS) == 23
+
+    def test_names_match_keys(self):
+        for key, spec in FUNCTIONS.items():
+            assert spec.name == key
+
+    def test_natural_ranges_valid(self):
+        for spec in FUNCTIONS.values():
+            lo, hi = spec.natural_range
+            assert hi > lo, spec.name
+
+    def test_periodic_functions_have_period(self):
+        for spec in FUNCTIONS.values():
+            if spec.extension == "periodic":
+                assert spec.period == pytest.approx(TWO_PI)
+
+    def test_trig_natural_range_is_one_period(self):
+        spec = FUNCTIONS["sin"]
+        lo, hi = spec.natural_range
+        assert hi - lo == pytest.approx(spec.period)
+
+    def test_exp_natural_range_is_ln2(self):
+        lo, hi = FUNCTIONS["exp"].natural_range
+        assert (lo, hi) == (0.0, pytest.approx(math.log(2)))
+
+    def test_odd_flags(self):
+        assert FUNCTIONS["sin"].odd
+        assert not FUNCTIONS["cos"].odd
+        assert FUNCTIONS["tanh"].odd
+
+    def test_unknown_function_raises_helpfully(self):
+        with pytest.raises(ConfigurationError, match="known functions"):
+            get_function("arctanh")

@@ -1,0 +1,77 @@
+"""Tests for the Table 2 support matrix."""
+
+import pytest
+
+from repro.core.functions.registry import FUNCTIONS
+from repro.core.functions.support import (
+    BASE_METHODS,
+    METHOD_SUPPORT,
+    check_support,
+    supported_functions,
+    supported_methods,
+    supports,
+)
+from repro.errors import UnsupportedFunctionError
+
+
+class TestMatrixContents:
+    def test_eight_base_methods(self):
+        assert len(BASE_METHODS) == 8
+
+    def test_cordic_covers_table1_functions(self):
+        for fn in ("sin", "cos", "tan", "sinh", "cosh", "tanh", "exp",
+                   "log", "sqrt"):
+            assert supports("cordic", fn)
+
+    def test_cordic_excludes_erf_family(self):
+        for fn in ("gelu", "sigmoid", "cndf"):
+            assert not supports("cordic", fn)
+
+    def test_generic_luts_cover_everything(self):
+        for method in ("mlut", "mlut_i", "llut", "llut_i"):
+            assert set(supported_functions(method)) == set(FUNCTIONS)
+
+    def test_dlut_excludes_periodic(self):
+        for fn in ("sin", "cos", "tan"):
+            assert not supports("dlut", fn)
+            assert not supports("dllut", fn)
+
+    def test_fixed_llut_excludes_out_of_format(self):
+        for fn in ("tan", "sinh", "cosh", "sigmoid"):
+            assert not supports("llut_fx", fn)
+        assert supports("llut_fx", "sin")
+        assert supports("llut_i_fx", "gelu")
+
+    def test_cordic_lut_excludes_vectoring(self):
+        assert not supports("cordic_lut", "log")
+        assert not supports("cordic_lut", "sqrt")
+        assert supports("cordic_lut", "exp")
+
+    def test_every_function_has_several_methods(self):
+        for fn in FUNCTIONS:
+            assert len(supported_methods(fn)) >= 4, fn
+
+    def test_matrix_consistency(self):
+        # supported_methods and supported_functions agree with supports().
+        for method, funcs in METHOD_SUPPORT.items():
+            for fn in funcs:
+                assert method in supported_methods(fn)
+                assert fn in supported_functions(method)
+
+
+class TestCheckSupport:
+    def test_ok_pair_passes(self):
+        check_support("llut_i", "sin")
+
+    def test_bad_pair_raises(self):
+        with pytest.raises(UnsupportedFunctionError) as e:
+            check_support("dlut", "sin")
+        assert e.value.function == "sin"
+        assert e.value.method == "dlut"
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(UnsupportedFunctionError, match="unknown method"):
+            check_support("taylor", "sin")
+
+    def test_supports_unknown_method_false(self):
+        assert not supports("nope", "sin")

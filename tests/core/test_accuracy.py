@@ -1,0 +1,67 @@
+"""Tests for the accuracy metrics (Section 4.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    AccuracyReport,
+    max_abs_error,
+    mean_ulp_error,
+    measure,
+    rmse,
+)
+
+
+class TestMetrics:
+    def test_rmse_zero_for_identical(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert rmse(x, x) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse(np.array([1.0, 1.0]), np.array([0.0, 0.0])) == 1.0
+
+    def test_rmse_mixed(self):
+        assert rmse(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == \
+            pytest.approx(np.sqrt(12.5))
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 5.0]), np.array([1.1, 4.0])) == \
+            pytest.approx(1.0)
+
+    def test_ulp_error_one_ulp(self):
+        exact = np.array([1.0])
+        approx = np.array([1.0 + 2.0 ** -23])
+        assert mean_ulp_error(approx, exact) == pytest.approx(1.0, rel=1e-6)
+
+    def test_ulp_error_scales_with_magnitude(self):
+        # Same absolute error is fewer ULPs at larger magnitude.
+        e_small = mean_ulp_error(np.array([1.0 + 1e-6]), np.array([1.0]))
+        e_large = mean_ulp_error(np.array([1024.0 + 1e-6]), np.array([1024.0]))
+        assert e_small > 500 * e_large
+
+    def test_ulp_error_at_zero_does_not_divide_by_zero(self):
+        out = mean_ulp_error(np.array([1e-30]), np.array([0.0]))
+        assert np.isfinite(out)
+
+
+class TestMeasure:
+    def test_measure_perfect_function(self, rng):
+        xs = rng.uniform(0, 1, 100).astype(np.float64)
+        rep = measure(np.sin, np.sin, xs)
+        assert rep.rmse == 0.0
+        assert rep.n_points == 100
+
+    def test_measure_float32_truncation(self, rng):
+        xs = rng.uniform(0, 2 * np.pi, 1000)
+        rep = measure(
+            lambda x: np.sin(x.astype(np.float32)).astype(np.float32),
+            np.sin, xs,
+        )
+        assert 0 < rep.rmse < 1e-6
+        assert rep.max_abs_error < 1e-6
+
+    def test_report_str(self):
+        rep = AccuracyReport(rmse=1e-7, max_abs_error=2e-7,
+                             mean_ulp_error=0.5, n_points=10)
+        text = str(rep)
+        assert "RMSE" in text and "ULP" in text

@@ -1,0 +1,113 @@
+"""Property tests: measured method accuracy tracks the analytic error model.
+
+For every (function, precision) pair tried, the measured RMSE must land
+within a small constant factor of the spacing-theory prediction — this
+cross-validates the table construction, address generation, and the model
+itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import make_method
+from repro.core.accuracy import measure
+from repro.core.error_model import (
+    float32_floor,
+    predict_cordic_rmse,
+    predict_interpolated_lut_rmse,
+    predict_lut_rmse,
+    rms_derivative,
+)
+from repro.core.functions.registry import get_function
+
+_F32 = np.float32
+
+
+def _inputs(spec, n=4096, seed=9):
+    rng = np.random.default_rng(seed)
+    lo, hi = spec.natural_range
+    return rng.uniform(lo, hi, n).astype(_F32)
+
+
+class TestDerivatives:
+    def test_sin_first_derivative_rms(self):
+        # rms(cos) over [0, 2pi) = 1/sqrt(2).
+        spec = get_function("sin")
+        assert rms_derivative(spec.reference, spec.natural_range, 1) == \
+            pytest.approx(1 / np.sqrt(2), rel=1e-3)
+
+    def test_sin_second_derivative_rms(self):
+        spec = get_function("sin")
+        assert rms_derivative(spec.reference, spec.natural_range, 2) == \
+            pytest.approx(1 / np.sqrt(2), rel=1e-2)
+
+    def test_exp_derivatives_equal_function(self):
+        spec = get_function("exp")
+        d1 = rms_derivative(spec.reference, (0.0, 0.69), 1)
+        d2 = rms_derivative(spec.reference, (0.0, 0.69), 2)
+        assert d1 == pytest.approx(d2, rel=1e-2)
+
+    def test_invalid_order(self):
+        spec = get_function("sin")
+        with pytest.raises(ValueError):
+            rms_derivative(spec.reference, spec.natural_range, 3)
+
+    def test_float32_floor_scale(self):
+        spec = get_function("sin")
+        floor = float32_floor(spec.reference, spec.natural_range)
+        assert 1e-9 < floor < 1e-7
+
+
+@settings(max_examples=8, deadline=None)
+@given(density=st.integers(min_value=8, max_value=16))
+def test_llut_matches_model(density):
+    spec = get_function("sin")
+    m = make_method("sin", "llut", density_log2=density).setup()
+    rep = measure(m.evaluate_vec, spec.reference, _inputs(spec))
+    predicted = predict_lut_rmse(spec, 2.0 ** -density)
+    assert predicted / 3 < rep.rmse < predicted * 3
+
+
+@settings(max_examples=6, deadline=None)
+@given(density=st.integers(min_value=5, max_value=11))
+def test_llut_i_matches_model(density):
+    spec = get_function("sin")
+    m = make_method("sin", "llut_i", density_log2=density).setup()
+    rep = measure(m.evaluate_vec, spec.reference, _inputs(spec))
+    predicted = predict_interpolated_lut_rmse(spec, 2.0 ** -density)
+    assert predicted / 4 < rep.rmse < predicted * 4
+
+
+@pytest.mark.parametrize("function,density", [
+    ("exp", 12), ("log", 12), ("tanh", 10), ("sigmoid", 8), ("gelu", 10),
+])
+def test_model_across_functions(function, density):
+    spec = get_function(function)
+    m = make_method(function, "llut", density_log2=density).setup()
+    rep = measure(m.evaluate_vec, spec.reference, _inputs(spec))
+    predicted = predict_lut_rmse(spec, 2.0 ** -density)
+    assert predicted / 4 < rep.rmse < predicted * 4, function
+
+
+@pytest.mark.parametrize("iterations", [10, 14, 18])
+def test_cordic_matches_model(iterations):
+    spec = get_function("sin")
+    m = make_method("sin", "cordic", iterations=iterations).setup()
+    rep = measure(m.evaluate_vec, spec.reference, _inputs(spec))
+    predicted = predict_cordic_rmse(spec, iterations)
+    assert predicted / 5 < rep.rmse < predicted * 5
+
+
+def test_mlut_density_equivalence():
+    """M-LUT with the same cell width as an L-LUT matches its accuracy."""
+    spec = get_function("sin")
+    xs = _inputs(spec)
+    llut = make_method("sin", "llut", density_log2=10).setup()
+    # Same spacing: (size-1)/range = 2^10 -> size = range * 2^10 + 1.
+    size = int(np.ceil((spec.natural_range[1]) * 2 ** 10)) + 1
+    mlut = make_method("sin", "mlut", size=size).setup()
+    e_l = measure(llut.evaluate_vec, spec.reference, xs).rmse
+    e_m = measure(mlut.evaluate_vec, spec.reference, xs).rmse
+    assert e_m == pytest.approx(e_l, rel=0.3)

@@ -1,0 +1,98 @@
+"""Tests for float32 bit-level tools."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import float_bits as fb
+
+
+class TestScalarRoundtrip:
+    def test_bits_of_one(self):
+        assert fb.float_to_bits(1.0) == 0x3F800000
+
+    def test_bits_of_negative_two(self):
+        assert fb.float_to_bits(-2.0) == 0xC0000000
+
+    def test_roundtrip_simple(self):
+        for v in [0.0, 1.0, -1.5, 3.14159, 1e-38, 1e38]:
+            assert fb.bits_to_float(fb.float_to_bits(v)) == np.float32(v)
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip_property(self, x):
+        assert fb.bits_to_float(fb.float_to_bits(x)) == np.float32(x)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_bits_roundtrip_property(self, bits):
+        value = fb.bits_to_float(bits)
+        if not np.isnan(value):
+            assert fb.float_to_bits(value) == bits
+
+
+class TestFields:
+    def test_sign_bit(self):
+        assert fb.sign_bit(1.0) == 0
+        assert fb.sign_bit(-1.0) == 1
+        assert fb.sign_bit(-0.0) == 1
+
+    def test_exponent_field_of_one(self):
+        assert fb.exponent_field(1.0) == fb.EXP_BIAS
+
+    def test_exponent_field_of_two(self):
+        assert fb.exponent_field(2.0) == fb.EXP_BIAS + 1
+
+    def test_unbiased_exponent(self):
+        assert fb.unbiased_exponent(1.0) == 0
+        assert fb.unbiased_exponent(8.0) == 3
+        assert fb.unbiased_exponent(0.25) == -2
+
+    def test_unbiased_exponent_subnormal_convention(self):
+        assert fb.unbiased_exponent(1e-41) == 1 - fb.EXP_BIAS
+
+    def test_mantissa_field_of_one_point_five(self):
+        assert fb.mantissa_field(1.5) == 1 << (fb.MANT_BITS - 1)
+
+    def test_compose_float(self):
+        val = fb.compose_float(0, fb.EXP_BIAS, 1 << (fb.MANT_BITS - 1))
+        assert val == np.float32(1.5)
+
+    @given(st.floats(width=32, allow_nan=False, allow_infinity=False,
+                     allow_subnormal=False))
+    def test_decompose_compose_property(self, x):
+        s = fb.sign_bit(x)
+        e = fb.exponent_field(x)
+        m = fb.mantissa_field(x)
+        assert fb.compose_float(s, e, m) == np.float32(x)
+
+
+class TestSubnormalAndUlp:
+    def test_is_subnormal(self):
+        assert fb.is_subnormal(1e-41)
+        assert not fb.is_subnormal(1e-37)
+        assert not fb.is_subnormal(0.0)
+
+    def test_ulp_spacing_at_one(self):
+        assert fb.ulp_spacing(1.0) == np.float32(2.0 ** -23)
+
+    def test_ulp_spacing_vectorized(self):
+        arr = np.array([1.0, 2.0, 4.0], dtype=np.float32)
+        out = fb.ulp_spacing(arr)
+        assert out[1] == 2 * out[0]
+        assert out[2] == 4 * out[0]
+
+
+class TestVectorized:
+    def test_vector_matches_scalar(self, rng):
+        xs = rng.uniform(-100, 100, 256).astype(np.float32)
+        bits = fb.float_to_bits(xs)
+        for i, x in enumerate(xs):
+            assert int(bits[i]) == fb.float_to_bits(float(x))
+
+    def test_exponent_field_vectorized(self):
+        xs = np.array([1.0, 2.0, 0.5], dtype=np.float32)
+        np.testing.assert_array_equal(
+            fb.exponent_field(xs), [127, 128, 126]
+        )

@@ -1,0 +1,66 @@
+"""Tests for the memory sizing helpers."""
+
+import pytest
+
+from repro.api import make_method
+from repro.core.memory_model import (
+    cordic_bytes,
+    dlut_bytes,
+    functions_per_wram,
+    lut_bytes,
+    lut_entries,
+    max_density_for_budget,
+    max_size_for_budget,
+)
+from repro.errors import ConfigurationError
+
+
+class TestForwardSizing:
+    def test_lut_entries_matches_real_method(self):
+        m = make_method("sin", "llut", density_log2=10).setup()
+        assert lut_entries("sin", 10) == m.entries
+
+    def test_lut_bytes_matches_real_method(self):
+        m = make_method("exp", "llut_i", density_log2=12).setup()
+        assert lut_bytes("exp", 12) == m.table_bytes()
+
+    def test_custom_interval(self):
+        assert lut_entries("exp", 4, interval=(0.0, 2.0)) == 2 * 16 + 2
+
+    def test_cordic_bytes_matches_method(self):
+        m = make_method("sin", "cordic", iterations=24).setup()
+        assert cordic_bytes(24) == m.table_bytes()
+
+    def test_dlut_bytes_matches_method(self):
+        m = make_method("tanh", "dlut", mant_bits=8, e_min=-14).setup()
+        assert dlut_bytes(8, -14, 3) == m.table_bytes()
+
+    def test_doubling_density_doubles_bytes(self):
+        assert lut_bytes("sin", 15) == pytest.approx(
+            2 * lut_bytes("sin", 14), rel=0.01
+        )
+
+
+class TestInverseSizing:
+    def test_max_density_fits(self):
+        budget = 64 * 1024
+        n = max_density_for_budget("sin", budget)
+        assert lut_bytes("sin", n) <= budget
+        assert lut_bytes("sin", n + 1) > budget
+
+    def test_max_density_real_method_fits_wram(self):
+        from repro.pim.memory import MemoryRegion
+        n = max_density_for_budget("sin", 48 * 1024)
+        m = make_method("sin", "llut", density_log2=n)
+        m.setup(MemoryRegion("WRAM", 48 * 1024))  # must not raise
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ConfigurationError):
+            max_density_for_budget("sin", 8)
+
+    def test_max_size_for_budget(self):
+        assert max_size_for_budget(4096) == 1024
+
+    def test_functions_per_wram(self):
+        per_one = lut_bytes("sin", 10)
+        assert functions_per_wram("sin", 10) == (48 * 1024) // per_one

@@ -1,0 +1,87 @@
+"""Tests for the Remez minimax fitter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.minimax import horner, horner_vec, remez
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter
+
+
+class TestRemezBasics:
+    def test_exact_for_polynomials(self):
+        # Fitting x^2 with degree 2 must be (near) exact.
+        fit = remez(lambda x: x * x, 2, (0.0, 1.0))
+        assert fit.max_error < 1e-12
+        np.testing.assert_allclose(fit.coefficients, [0, 0, 1], atol=1e-10)
+
+    def test_degree_zero_is_midrange(self):
+        # Best constant for x on [0,1] is 0.5 with error 0.5.
+        fit = remez(lambda x: x, 0, (0.0, 1.0))
+        assert fit.coefficients[0] == pytest.approx(0.5, abs=1e-6)
+        assert fit.max_error == pytest.approx(0.5, rel=1e-3)
+
+    def test_exp_error_shrinks_with_degree(self):
+        errs = [remez(np.exp, d, (0.0, math.log(2))).max_error
+                for d in (2, 4, 6)]
+        assert errs[0] > 30 * errs[1] > 30 * errs[2] / 30
+        assert errs[2] < 1e-7
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            remez(np.exp, -1, (0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            remez(np.exp, 3, (1.0, 1.0))
+
+
+class TestMinimaxVsTaylor:
+    def test_minimax_beats_taylor_at_same_degree(self):
+        """The reason minimax matters: fewer terms per accuracy bit."""
+        degree = 5
+        lo, hi = 0.0, math.log(2)
+        fit = remez(np.exp, degree, (lo, hi))
+        grid = np.linspace(lo, hi, 2000)
+        taylor = sum(grid ** k / math.factorial(k)
+                     for k in range(degree + 1))
+        taylor_err = np.max(np.abs(taylor - np.exp(grid)))
+        assert fit.max_error < taylor_err / 5
+
+    def test_equioscillation(self):
+        """The fitted error touches +-E alternately (minimax certificate)."""
+        fit = remez(np.sin, 5, (0.0, math.pi / 2))
+        grid = np.linspace(0.0, math.pi / 2, 8000)
+        err = fit(grid) - np.sin(grid)
+        peak = np.abs(err).max()
+        # At least degree+2 near-peak alternations.
+        near_peak = np.abs(np.abs(err) - peak) < 0.15 * peak
+        signs = np.sign(err[near_peak])
+        alternations = int(np.sum(np.diff(signs) != 0))
+        assert alternations >= 5
+
+
+class TestHornerEvaluation:
+    def test_traced_matches_vectorized(self):
+        fit = remez(np.exp, 6, (0.0, 0.7))
+        coeffs = fit.coefficients_f32_desc()
+        ctx = CycleCounter()
+        xs = np.linspace(0, 0.7, 16).astype(np.float32)
+        scalar = np.array([horner(ctx, coeffs, x) for x in xs],
+                          dtype=np.float32)
+        np.testing.assert_array_equal(scalar, horner_vec(coeffs, xs))
+
+    def test_cost_one_mul_add_per_term(self):
+        fit = remez(np.exp, 6, (0.0, 0.7))
+        coeffs = fit.coefficients_f32_desc()
+        ctx = CycleCounter()
+        horner(ctx, coeffs, np.float32(0.3))
+        assert ctx.tally.count("fmul") == 6
+        assert ctx.tally.count("fadd") == 6
+
+    def test_float32_evaluation_accuracy(self):
+        fit = remez(np.exp, 8, (0.0, 0.7))
+        coeffs = fit.coefficients_f32_desc()
+        xs = np.linspace(0, 0.7, 512).astype(np.float32)
+        out = horner_vec(coeffs, xs).astype(np.float64)
+        assert np.max(np.abs(out - np.exp(xs.astype(np.float64)))) < 1e-6

@@ -1,0 +1,52 @@
+"""Tests for the host setup-time model (Figure 6)."""
+
+import pytest
+
+from repro.api import make_method
+from repro.core.setup_model import DEFAULT_SETUP_MODEL, SetupTimeModel, setup_seconds
+
+
+class TestModel:
+    def test_overhead_floor(self):
+        model = SetupTimeModel()
+        assert model.seconds(0, 0) == model.call_overhead_s
+
+    def test_linear_in_entries(self):
+        model = SetupTimeModel(call_overhead_s=0, copy_bandwidth=1e18)
+        assert model.seconds(2000, 0) == pytest.approx(2 * model.seconds(1000, 0))
+
+    def test_copy_component(self):
+        model = SetupTimeModel(call_overhead_s=0, per_entry_s=0,
+                               copy_bandwidth=1e6)
+        assert model.seconds(0, 1000) == pytest.approx(1e-3)
+
+
+class TestFigure6Structure:
+    def test_cordic_setup_flat(self):
+        """CORDIC setup barely moves with accuracy (Key Takeaway 2)."""
+        t_low = setup_seconds(make_method("sin", "cordic", iterations=8).setup())
+        t_high = setup_seconds(make_method("sin", "cordic", iterations=32).setup())
+        assert t_high < 1.2 * t_low
+
+    def test_lut_setup_grows_with_density(self):
+        t_small = setup_seconds(
+            make_method("sin", "llut", density_log2=10).setup())
+        t_big = setup_seconds(
+            make_method("sin", "llut", density_log2=18).setup())
+        assert t_big > 5 * t_small
+
+    def test_cordic_lut_between(self):
+        """CORDIC+LUT: above CORDIC, flat in iterations."""
+        cordic = setup_seconds(make_method("sin", "cordic", iterations=24).setup())
+        hyb_a = setup_seconds(make_method(
+            "sin", "cordic_lut", iterations=16, lut_bits=8).setup())
+        hyb_b = setup_seconds(make_method(
+            "sin", "cordic_lut", iterations=32, lut_bits=8).setup())
+        assert hyb_a > cordic
+        assert hyb_b < 1.2 * hyb_a
+
+    def test_cordic_cheaper_than_accurate_lut(self):
+        """The premise of the ~40-operation amortization argument."""
+        cordic = setup_seconds(make_method("sin", "cordic", iterations=30).setup())
+        llut = setup_seconds(make_method("sin", "llut_i", density_log2=13).setup())
+        assert cordic < llut

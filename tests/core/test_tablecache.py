@@ -1,0 +1,110 @@
+"""Tests for the host-side table cache."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_method
+from repro.core.tablecache import TableCache, cache_signature
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TableCache(tmp_path / "tables")
+
+
+class TestSignature:
+    def test_stable_across_instances(self):
+        a = make_method("sin", "llut_i", density_log2=10)
+        b = make_method("sin", "llut_i", density_log2=10)
+        assert cache_signature(a) == cache_signature(b)
+
+    def test_differs_by_density(self):
+        a = make_method("sin", "llut_i", density_log2=10)
+        b = make_method("sin", "llut_i", density_log2=12)
+        assert cache_signature(a) != cache_signature(b)
+
+    def test_differs_by_function(self):
+        a = make_method("sin", "llut_i", density_log2=10)
+        b = make_method("cos", "llut_i", density_log2=10)
+        assert cache_signature(a) != cache_signature(b)
+
+    def test_differs_by_interval(self):
+        a = make_method("exp", "llut_i", density_log2=10,
+                        interval=(-1.0, 0.0))
+        b = make_method("exp", "llut_i", density_log2=10,
+                        interval=(-2.0, 0.0))
+        assert cache_signature(a) != cache_signature(b)
+
+    def test_differs_by_method(self):
+        a = make_method("sin", "llut", density_log2=10)
+        b = make_method("sin", "llut_i", density_log2=10)
+        assert cache_signature(a) != cache_signature(b)
+
+
+class TestRoundtrip:
+    def test_store_and_load_bit_identical(self, cache):
+        original = make_method("sin", "llut_i", density_log2=10).setup()
+        cache.store(original)
+
+        fresh = make_method("sin", "llut_i", density_log2=10)
+        assert cache.load_into(fresh)
+        np.testing.assert_array_equal(fresh._table, original._table)
+
+    def test_loaded_method_evaluates(self, cache, sine_inputs):
+        cache.store(make_method("sin", "llut_i", density_log2=10).setup())
+        fresh = make_method("sin", "llut_i", density_log2=10)
+        cache.load_into(fresh)
+        out = fresh.evaluate_vec(sine_inputs)
+        np.testing.assert_allclose(out, np.sin(sine_inputs), atol=1e-5)
+
+    def test_loaded_scalar_path_works(self, cache):
+        cache.store(make_method("sin", "llut", density_log2=10).setup())
+        fresh = make_method("sin", "llut", density_log2=10)
+        cache.load_into(fresh)
+        assert abs(float(fresh.evaluate(CycleCounter(), 1.0))
+                   - np.sin(1.0)) < 1e-3
+
+    def test_miss_returns_false(self, cache):
+        assert not cache.load_into(make_method("sin", "llut", density_log2=9))
+
+    def test_fixed_point_tables_roundtrip(self, cache):
+        original = make_method("sin", "llut_i_fx", density_log2=10).setup()
+        cache.store(original)
+        fresh = make_method("sin", "llut_i_fx", density_log2=10)
+        assert cache.load_into(fresh)
+        assert fresh._table.dtype == original._table.dtype
+        np.testing.assert_array_equal(fresh._table, original._table)
+
+
+class TestSetupHelper:
+    def test_setup_builds_then_hits(self, cache):
+        m1 = cache.setup(make_method("sin", "llut_i", density_log2=9))
+        assert cache.contains(make_method("sin", "llut_i", density_log2=9))
+        m2 = cache.setup(make_method("sin", "llut_i", density_log2=9))
+        np.testing.assert_array_equal(m1._table, m2._table)
+
+    def test_clear(self, cache):
+        cache.setup(make_method("sin", "llut", density_log2=9))
+        cache.setup(make_method("cos", "llut", density_log2=9))
+        assert cache.clear() == 2
+        assert not cache.contains(make_method("sin", "llut", density_log2=9))
+
+
+class TestRejections:
+    def test_cordic_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="not a table method"):
+            cache.contains(make_method("sin", "cordic", iterations=16))
+
+    def test_composite_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="composite"):
+            cache.contains(make_method("tanh", "dllut_i", mant_bits=8))
+
+    def test_tan_quotient_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="composite"):
+            cache.contains(make_method("tan", "llut_i", density_log2=10))
+
+    def test_store_before_setup_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="set up"):
+            cache.store(make_method("sin", "llut", density_log2=9))

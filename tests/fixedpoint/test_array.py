@@ -1,0 +1,132 @@
+"""Tests for the FxArray fixed-point array type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q3_28, Q15_16, fx_add, fx_div, fx_mul, fx_sub
+from repro.fixedpoint.array import FxArray
+from repro.isa.counter import CycleCounter
+
+vals = st.lists(st.floats(min_value=-3.0, max_value=3.0),
+                min_size=1, max_size=8)
+
+
+class TestConstruction:
+    def test_from_float_roundtrip(self):
+        a = FxArray.from_float([1.5, -0.25, 0.0])
+        np.testing.assert_array_equal(a.to_float(), [1.5, -0.25, 0.0])
+
+    def test_saturation_on_construction(self):
+        a = FxArray.from_float([100.0, -100.0])
+        assert a.to_float()[0] == pytest.approx(Q3_28.max_value)
+        assert a.to_float()[1] == pytest.approx(Q3_28.min_value)
+
+    def test_repr_and_len(self):
+        a = FxArray.from_float([1.0, 2.0])
+        assert len(a) == 2
+        assert "s3.28" in repr(a)
+
+    def test_custom_format(self):
+        a = FxArray.from_float([1000.0], fmt=Q15_16)
+        assert a.to_float()[0] == 1000.0
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = FxArray.from_float([1.5, 2.0])
+        b = FxArray.from_float([0.25, -1.0])
+        np.testing.assert_array_equal((a + b).to_float(), [1.75, 1.0])
+        np.testing.assert_array_equal((a - b).to_float(), [1.25, 3.0])
+
+    def test_scalar_operands(self):
+        a = FxArray.from_float([1.0, 2.0])
+        np.testing.assert_array_equal((a + 0.5).to_float(), [1.5, 2.5])
+        np.testing.assert_array_equal((2.0 * a).to_float(), [2.0, 4.0])
+        np.testing.assert_array_equal((4.0 - a).to_float(), [3.0, 2.0])
+
+    def test_mul(self):
+        a = FxArray.from_float([1.5])
+        b = FxArray.from_float([2.0])
+        assert (a * b).to_float()[0] == pytest.approx(3.0, abs=1e-8)
+
+    def test_div(self):
+        a = FxArray.from_float([3.0])
+        assert (a / 2.0).to_float()[0] == pytest.approx(1.5, abs=1e-8)
+
+    def test_neg_abs(self):
+        a = FxArray.from_float([-1.5, 2.0])
+        np.testing.assert_array_equal((-a).to_float(), [1.5, -2.0])
+        np.testing.assert_array_equal(a.abs().to_float(), [1.5, 2.0])
+
+    def test_shifts(self):
+        a = FxArray.from_float([1.0])
+        assert (a << 2).to_float()[0] == 4.0
+        assert (a >> 1).to_float()[0] == 0.5
+
+    def test_wrapping_matches_format(self):
+        a = FxArray.from_float([7.0])
+        b = FxArray.from_float([2.0])
+        # 9.0 wraps into s3.28's [-8, 8).
+        assert (a + b).to_float()[0] == pytest.approx(9.0 - 16.0)
+
+    def test_format_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FxArray.from_float([1.0]) + FxArray.from_float([1.0], fmt=Q15_16)
+
+
+class TestAgainstCountedOps:
+    """FxArray must agree bit-for-bit with the counted scalar ops."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(xs=vals, ys=vals)
+    def test_add_sub_mul_match(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = FxArray.from_float(xs[:n])
+        b = FxArray.from_float(ys[:n])
+        ctx = CycleCounter()
+        for i in range(n):
+            ra, rb = int(a.raw[i]), int(b.raw[i])
+            assert (a + b).raw[i] == fx_add(ctx, Q3_28, ra, rb)
+            assert (a - b).raw[i] == fx_sub(ctx, Q3_28, ra, rb)
+            assert (a * b).raw[i] == fx_mul(ctx, Q3_28, ra, rb)
+
+    @settings(max_examples=20, deadline=None)
+    @given(xs=st.lists(st.floats(min_value=0.1, max_value=3.0),
+                       min_size=1, max_size=6),
+           ys=st.lists(st.floats(min_value=0.1, max_value=3.0),
+                       min_size=1, max_size=6))
+    def test_div_matches(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = FxArray.from_float(xs[:n])
+        b = FxArray.from_float(ys[:n])
+        ctx = CycleCounter()
+        for i in range(n):
+            assert (a / b).raw[i] == fx_div(ctx, Q3_28, int(a.raw[i]),
+                                            int(b.raw[i]))
+
+
+class TestComparisonsAndHelpers:
+    def test_comparisons(self):
+        a = FxArray.from_float([1.0, 3.0])
+        b = FxArray.from_float([2.0, 2.0])
+        np.testing.assert_array_equal(a < b, [True, False])
+        np.testing.assert_array_equal(a >= b, [False, True])
+        np.testing.assert_array_equal(a == FxArray.from_float([1.0, 3.0]),
+                                      [True, True])
+
+    def test_clip(self):
+        a = FxArray.from_float([-5.0, 0.5, 5.0])
+        np.testing.assert_array_equal(
+            a.clip(-1.0, 1.0).to_float(), [-1.0, 0.5, 1.0]
+        )
+
+    def test_getitem(self):
+        a = FxArray.from_float([1.0, 2.0, 3.0])
+        assert a[1].to_float()[0] == 2.0
+
+    def test_to_float32(self):
+        a = FxArray.from_float([1.0 / 3.0])
+        assert a.to_float32().dtype == np.float32

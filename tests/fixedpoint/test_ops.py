@@ -1,0 +1,126 @@
+"""Tests for counted and vectorized fixed-point arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    Q3_28,
+    fx_add,
+    fx_add_vec,
+    fx_div,
+    fx_frac,
+    fx_mul,
+    fx_mul_vec,
+    fx_neg,
+    fx_round_index,
+    fx_shift,
+    fx_sub,
+    fx_sub_vec,
+)
+from repro.isa.counter import CycleCounter
+from repro.isa.opcosts import UPMEM_COSTS
+
+FMT = Q3_28
+
+raw_values = st.integers(min_value=-FMT.scale * 7, max_value=FMT.scale * 7)
+
+
+def _fx(x: float) -> int:
+    return FMT.from_float(x)
+
+
+class TestArithmetic:
+    def test_add(self, ctx):
+        out = fx_add(ctx, FMT, _fx(1.5), _fx(2.25))
+        assert FMT.to_float(out) == 3.75
+
+    def test_add_cost_is_native(self, ctx):
+        fx_add(ctx, FMT, 1, 2)
+        assert ctx.slots == UPMEM_COSTS.int_alu
+
+    def test_sub(self, ctx):
+        out = fx_sub(ctx, FMT, _fx(1.0), _fx(2.5))
+        assert FMT.to_float(out) == -1.5
+
+    def test_neg(self, ctx):
+        assert fx_neg(ctx, FMT, _fx(1.25)) == _fx(-1.25)
+
+    def test_mul(self, ctx):
+        out = fx_mul(ctx, FMT, _fx(1.5), _fx(2.0))
+        assert FMT.to_float(out) == pytest.approx(3.0, abs=FMT.resolution)
+
+    def test_mul_charges_wide_multiply(self, ctx):
+        fx_mul(ctx, FMT, _fx(1.0), _fx(1.0))
+        assert ctx.tally.count("imul64") == 1
+        assert ctx.slots == UPMEM_COSTS.int_mul64 + UPMEM_COSTS.int_alu
+
+    def test_mul_cheaper_than_float_mul(self, ctx):
+        fx_mul(ctx, FMT, _fx(1.0), _fx(1.0))
+        assert ctx.slots < UPMEM_COSTS.fp_mul
+
+    def test_div(self, ctx):
+        out = fx_div(ctx, FMT, _fx(3.0), _fx(2.0))
+        assert FMT.to_float(out) == pytest.approx(1.5, abs=FMT.resolution)
+
+    def test_shift(self, ctx):
+        assert fx_shift(ctx, FMT, _fx(1.0), 2) == _fx(4.0)
+        assert fx_shift(ctx, FMT, _fx(1.0), -2) == _fx(0.25)
+
+    @given(st.floats(min_value=-2.5, max_value=2.5),
+           st.floats(min_value=-2.5, max_value=2.5))
+    def test_mul_approximates_real_product(self, a, b):
+        ctx = CycleCounter()
+        out = fx_mul(ctx, FMT, _fx(a), _fx(b))
+        assert FMT.to_float(out) == pytest.approx(a * b, abs=1e-7)
+
+
+class TestAddressHelpers:
+    def test_round_index(self, ctx):
+        # round(5.75 * 2^-2) with shift on a Q.3 toy: use Q3_28 raw math.
+        raw = _fx(5.75)
+        idx = fx_round_index(ctx, FMT, raw, FMT.frac_bits)  # round to integer
+        assert idx == 6
+
+    def test_round_index_half_up(self, ctx):
+        idx = fx_round_index(ctx, FMT, _fx(2.5), FMT.frac_bits)
+        assert idx == 3
+
+    def test_frac_extracts_interpolation_weight(self, ctx):
+        raw = _fx(3.25)
+        delta = fx_frac(ctx, FMT, raw, FMT.frac_bits)
+        assert FMT.to_float(delta) == 0.25
+
+    def test_frac_zero_shift(self, ctx):
+        # shift = frac_bits means index granularity 1.0.
+        delta = fx_frac(ctx, FMT, _fx(5.0), FMT.frac_bits)
+        assert delta == 0
+
+
+class TestVectorTwins:
+    @given(st.lists(raw_values, min_size=1, max_size=16),
+           st.lists(raw_values, min_size=1, max_size=16))
+    def test_add_vec_matches_scalar(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n], dtype=np.int64)
+        b = np.array(ys[:n], dtype=np.int64)
+        out = fx_add_vec(FMT, a, b)
+        ctx = CycleCounter()
+        for i in range(n):
+            assert out[i] == fx_add(ctx, FMT, int(a[i]), int(b[i]))
+
+    @given(st.lists(raw_values, min_size=1, max_size=16))
+    def test_mul_vec_matches_scalar(self, xs):
+        a = np.array(xs, dtype=np.int64)
+        b = a[::-1].copy()
+        out = fx_mul_vec(FMT, a, b)
+        ctx = CycleCounter()
+        for i in range(len(xs)):
+            assert out[i] == fx_mul(ctx, FMT, int(a[i]), int(b[i]))
+
+    def test_sub_vec(self):
+        a = np.array([_fx(1.0), _fx(2.0)])
+        b = np.array([_fx(0.5), _fx(3.0)])
+        out = fx_sub_vec(FMT, a, b)
+        assert FMT.to_float(out).tolist() == [0.5, -1.0]

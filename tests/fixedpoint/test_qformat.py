@@ -1,0 +1,94 @@
+"""Tests for Q-format descriptors and conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q1_30, Q3_28, Q15_16, QFormat
+
+
+class TestLayout:
+    def test_s3_28_layout(self):
+        assert Q3_28.word_bits == 32
+        assert Q3_28.scale == 1 << 28
+        assert Q3_28.resolution == 2.0 ** -28
+
+    def test_s3_28_range_covers_two_pi(self):
+        # The paper chose 3 integer bits exactly to fit angles up to 2*pi.
+        assert Q3_28.max_value > 2 * np.pi
+        assert Q3_28.min_value < -2 * np.pi
+
+    def test_max_min_raw(self):
+        assert Q3_28.max_raw == 2**31 - 1
+        assert Q3_28.min_raw == -(2**31)
+
+    def test_word_too_wide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(int_bits=10, frac_bits=28)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(int_bits=-1, frac_bits=4)
+
+    def test_str(self):
+        assert str(Q3_28) == "s3.28"
+        assert str(Q15_16) == "s15.16"
+
+
+class TestConversions:
+    def test_from_float_exact_grid(self):
+        assert Q3_28.from_float(1.0) == 1 << 28
+        assert Q3_28.from_float(-0.5) == -(1 << 27)
+
+    def test_roundtrip_error_bounded(self, rng):
+        xs = rng.uniform(-7.9, 7.9, 1000)
+        raw = Q3_28.from_float(xs)
+        back = Q3_28.to_float(raw)
+        assert np.max(np.abs(back - xs)) <= Q3_28.resolution / 2
+
+    def test_saturation(self):
+        assert Q3_28.from_float(100.0) == Q3_28.max_raw
+        assert Q3_28.from_float(-100.0) == Q3_28.min_raw
+
+    def test_wrap_mode(self):
+        wrapped = Q3_28.from_float(8.0, saturate=False)
+        assert wrapped == Q3_28.min_raw  # 8.0 wraps to -8.0 in s3.28
+
+    def test_extreme_values_do_not_overflow(self):
+        assert Q3_28.from_float(1e300) == Q3_28.max_raw
+        assert Q3_28.from_float(-1e300) == Q3_28.min_raw
+
+    @given(st.floats(min_value=-7.9, max_value=7.9))
+    def test_roundtrip_property(self, x):
+        raw = Q3_28.from_float(x)
+        assert abs(Q3_28.to_float(raw) - x) <= Q3_28.resolution / 2
+
+    def test_vector_conversion(self, rng):
+        xs = rng.uniform(-1, 1, 64)
+        raw = Q1_30.from_float(xs)
+        assert isinstance(raw, np.ndarray)
+        np.testing.assert_allclose(Q1_30.to_float(raw), xs, atol=2.0**-30)
+
+
+class TestWrapSaturate:
+    @given(st.integers(min_value=-2**40, max_value=2**40))
+    def test_wrap_lands_in_range(self, raw):
+        w = Q3_28.wrap(raw)
+        assert Q3_28.min_raw <= w <= Q3_28.max_raw
+
+    @given(st.integers(min_value=Q3_28.min_raw, max_value=Q3_28.max_raw))
+    def test_wrap_identity_in_range(self, raw):
+        assert Q3_28.wrap(raw) == raw
+
+    def test_wrap_twos_complement(self):
+        assert Q3_28.wrap(Q3_28.max_raw + 1) == Q3_28.min_raw
+
+    def test_saturate(self):
+        assert Q3_28.saturate(2**40) == Q3_28.max_raw
+        assert Q3_28.saturate(-(2**40)) == Q3_28.min_raw
+
+    def test_representable(self):
+        assert Q3_28.representable(7.9)
+        assert not Q3_28.representable(8.1)

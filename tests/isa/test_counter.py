@@ -1,0 +1,158 @@
+"""Tests for the cycle-counting PIM ISA context."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.counter import CycleCounter, Tally
+from repro.isa.opcosts import IDEALIZED_COSTS, UPMEM_COSTS
+
+
+class TestCharging:
+    def test_int_add_costs_one_slot(self, ctx):
+        ctx.iadd(1, 2)
+        assert ctx.slots == UPMEM_COSTS.int_alu
+
+    def test_float_mul_cost(self, ctx):
+        ctx.fmul(1.0, 2.0)
+        assert ctx.slots == UPMEM_COSTS.fp_mul
+
+    def test_costs_accumulate(self, ctx):
+        ctx.fadd(1.0, 2.0)
+        ctx.fdiv(1.0, 2.0)
+        assert ctx.slots == UPMEM_COSTS.fp_add + UPMEM_COSTS.fp_div
+
+    def test_op_counts_recorded(self, ctx):
+        ctx.fmul(1.0, 2.0)
+        ctx.fmul(2.0, 3.0)
+        ctx.fadd(1.0, 1.0)
+        assert ctx.tally.count("fmul") == 2
+        assert ctx.tally.count("fadd") == 1
+        assert ctx.tally.count("fdiv") == 0
+
+    def test_reset_returns_and_clears(self, ctx):
+        ctx.imul(3, 4)
+        tally = ctx.reset()
+        assert tally.slots == UPMEM_COSTS.int_mul
+        assert ctx.slots == 0
+
+    def test_custom_cost_model(self):
+        ctx = CycleCounter(IDEALIZED_COSTS)
+        ctx.fmul(1.0, 2.0)
+        assert ctx.slots == 1
+
+
+class TestIntegerSemantics:
+    def test_idiv_truncates_toward_zero(self, ctx):
+        assert ctx.idiv(7, 2) == 3
+        assert ctx.idiv(-7, 2) == -3
+        assert ctx.idiv(7, -2) == -3
+
+    def test_idiv64_truncates_toward_zero(self, ctx):
+        assert ctx.idiv64(-9, 4) == -2
+
+    def test_shr_is_arithmetic(self, ctx):
+        assert ctx.shr(-8, 1) == -4
+
+    def test_icmp_three_way(self, ctx):
+        assert ctx.icmp(1, 2) == -1
+        assert ctx.icmp(2, 2) == 0
+        assert ctx.icmp(3, 2) == 1
+
+    def test_logic_ops(self, ctx):
+        assert ctx.iand(0b1100, 0b1010) == 0b1000
+        assert ctx.ior(0b1100, 0b1010) == 0b1110
+        assert ctx.ixor(0b1100, 0b1010) == 0b0110
+
+
+class TestFloat32Semantics:
+    def test_fadd_rounds_to_float32(self, ctx):
+        # 1 + 2^-25 is exactly 1 in float32 (below half-ulp).
+        assert ctx.fadd(1.0, 2.0 ** -25) == np.float32(1.0)
+
+    def test_fmul_float32_rounding(self, ctx):
+        a, b = np.float32(1.1), np.float32(2.3)
+        assert ctx.fmul(a, b) == np.float32(a * b)
+
+    def test_fdiv(self, ctx):
+        assert ctx.fdiv(1.0, 3.0) == np.float32(np.float32(1.0) / np.float32(3.0))
+
+    def test_fcmp(self, ctx):
+        assert ctx.fcmp(1.0, 2.0) == -1
+        assert ctx.fcmp(2.0, 2.0) == 0
+
+    def test_fneg_fabs(self, ctx):
+        assert ctx.fneg(1.5) == np.float32(-1.5)
+        assert ctx.fabs(-2.5) == np.float32(2.5)
+
+    @given(st.floats(width=32, allow_nan=False, allow_infinity=False))
+    def test_fadd_matches_numpy(self, x):
+        ctx = CycleCounter()
+        assert ctx.fadd(x, 1.0) == np.float32(np.float32(x) + np.float32(1.0))
+
+
+class TestConversions:
+    def test_f2i_truncates(self, ctx):
+        assert ctx.f2i(2.9) == 2
+        assert ctx.f2i(-2.9) == -2
+
+    def test_ffloor(self, ctx):
+        assert ctx.ffloor(2.9) == 2
+        assert ctx.ffloor(-2.1) == -3
+
+    def test_fround_half_away(self, ctx):
+        assert ctx.fround(2.5) == 3
+        assert ctx.fround(-2.5) == -3
+        assert ctx.fround(2.4) == 2
+
+    def test_f2fx_and_back(self, ctx):
+        raw = ctx.f2fx(1.5, 28)
+        assert raw == 3 << 27
+        assert ctx.fx2f(raw, 28) == np.float32(1.5)
+
+    def test_ldexp_through_counter(self, ctx):
+        assert ctx.ldexp(1.5, 3) == np.float32(12.0)
+        assert ctx.slots == UPMEM_COSTS.ldexp
+
+    def test_frexp_through_counter(self, ctx):
+        m, e = ctx.frexp(12.0)
+        assert (float(m), e) == math.frexp(12.0)
+
+
+class TestMemory:
+    def test_wram_read_write(self, ctx):
+        table = [10, 20, 30]
+        assert ctx.wram_read(table, 1) == 20
+        ctx.wram_write(table, 2, 99)
+        assert table[2] == 99
+        assert ctx.slots == 2 * UPMEM_COSTS.wram_access
+
+    def test_mram_read_accounting(self, ctx):
+        table = np.arange(10, dtype=np.float32)
+        value = ctx.mram_read(table, 3, elem_bytes=4)
+        assert value == 3
+        assert ctx.tally.dma_transactions == 1
+        assert ctx.tally.dma_bytes == 4
+        assert ctx.tally.dma_latency == UPMEM_COSTS.mram_dma_per_8b
+        assert ctx.slots == UPMEM_COSTS.mram_dma_setup
+
+    def test_mram_read_multi_beat(self, ctx):
+        table = np.arange(10)
+        ctx.mram_read(table, 0, elem_bytes=24)
+        assert ctx.tally.dma_latency == 3 * UPMEM_COSTS.mram_dma_per_8b
+
+
+class TestTally:
+    def test_add_merges(self):
+        a = Tally(slots=10, dma_bytes=4)
+        a.counts["fmul"] = 2
+        b = Tally(slots=5, dma_bytes=8)
+        b.counts["fmul"] = 1
+        b.counts["fadd"] = 3
+        a.add(b)
+        assert a.slots == 15
+        assert a.dma_bytes == 12
+        assert a.counts == {"fmul": 3, "fadd": 3}

@@ -1,0 +1,51 @@
+"""Tests for the operation cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.opcosts import IDEALIZED_COSTS, UPMEM_COSTS, OpCosts
+
+
+class TestDefaults:
+    def test_native_ops_are_single_slot(self):
+        assert UPMEM_COSTS.int_alu == 1
+        assert UPMEM_COSTS.branch == 1
+        assert UPMEM_COSTS.wram_access == 1
+
+    def test_float_ops_dominate_integer_ops(self):
+        assert UPMEM_COSTS.fp_add > UPMEM_COSTS.int_alu
+        assert UPMEM_COSTS.fp_mul > UPMEM_COSTS.int_mul
+        assert UPMEM_COSTS.fp_div > UPMEM_COSTS.fp_mul
+
+    def test_float_mul_much_costlier_than_add(self):
+        # The L-LUT-vs-M-LUT advantage rests on this ratio.
+        assert UPMEM_COSTS.fp_mul >= 3 * UPMEM_COSTS.fp_add
+
+    def test_ldexp_is_cheap(self):
+        # The whole point of the L-LUT family.
+        assert UPMEM_COSTS.ldexp < UPMEM_COSTS.fp_add / 2
+
+    def test_fixed_mul_cheaper_than_float_mul(self):
+        assert UPMEM_COSTS.fixed_mul < UPMEM_COSTS.fp_mul
+
+    def test_fixed_add_is_native(self):
+        assert UPMEM_COSTS.fixed_add == UPMEM_COSTS.int_alu
+
+
+class TestReplace:
+    def test_replace_makes_copy(self):
+        fast = UPMEM_COSTS.replace(fp_mul=10)
+        assert fast.fp_mul == 10
+        assert UPMEM_COSTS.fp_mul != 10
+        assert fast.fp_add == UPMEM_COSTS.fp_add
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            UPMEM_COSTS.fp_mul = 1
+
+
+class TestIdealized:
+    def test_everything_single_slot(self):
+        for field in dataclasses.fields(OpCosts):
+            assert getattr(IDEALIZED_COSTS, field.name) == 1, field.name

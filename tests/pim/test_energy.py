@@ -1,0 +1,90 @@
+"""Tests for the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.pim.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.pim.system import PIMSystem
+
+
+def identity_kernel(ctx, x):
+    return ctx.fadd(x, 0.0)
+
+
+@pytest.fixture(scope="module")
+def run_result(rng=np.random.default_rng(5)):
+    system = PIMSystem()
+    xs = rng.uniform(0, 1, 2000).astype(np.float32)
+    return system.run(identity_kernel, xs, virtual_n=10_000_000)
+
+
+class TestModel:
+    def test_pim_power_far_below_cpu(self):
+        # ~560 W of DPUs... no: 2545 x 0.22 W = ~560 W? The ratio matters.
+        model = DEFAULT_ENERGY_MODEL
+        assert model.pim_watts == pytest.approx(2545 * 0.22)
+
+    def test_energy_components(self, run_result):
+        model = DEFAULT_ENERGY_MODEL
+        rep = model.pim_energy(run_result, bytes_in=40_000_000,
+                               bytes_out=40_000_000)
+        assert rep.compute_joules > 0
+        assert rep.transfer_joules == pytest.approx(80e-12 * 80_000_000)
+        assert rep.total_joules == rep.compute_joules + rep.transfer_joules
+
+    def test_cpu_energy_scales_with_time(self):
+        model = DEFAULT_ENERGY_MODEL
+        assert model.cpu_energy(2.0).compute_joules == \
+            pytest.approx(2 * model.cpu_energy(1.0).compute_joules)
+
+    def test_custom_model(self):
+        small = EnergyModel(n_dpus=64)
+        assert small.pim_watts < DEFAULT_ENERGY_MODEL.pim_watts
+
+
+class TestWorkloadEnergy:
+    def test_fixed_blackscholes_wins_energy(self):
+        """Where PIM wins time (fixed-point Blackscholes), it wins energy."""
+        from repro.pim.system import PIMSystem
+        from repro.workloads.blackscholes import Blackscholes, generate_options
+        from repro.workloads.cpu_model import CPU_BLACKSCHOLES
+
+        n = 10_000_000
+        system = PIMSystem()
+        batch = generate_options(2000)
+        bs = Blackscholes("fixed_full").setup()
+        res = bs.run(batch, system, virtual_n=n)
+
+        model = DEFAULT_ENERGY_MODEL
+        pim = model.pim_energy(res, bytes_in=20 * n,
+                               bytes_out=4 * n)
+        cpu = model.cpu_energy(CPU_BLACKSCHOLES.seconds(n, 32),
+                               bytes_moved=24 * n)
+        assert pim.total_joules < cpu.total_joules
+
+    def test_sigmoid_loses_energy_honestly(self):
+        """Where PIM is 2x slower at 2.2x the power, it loses energy — the
+        model does not flatter PIM."""
+        from repro.workloads.cpu_model import CPU_SIGMOID
+        from repro.workloads.sigmoid import Sigmoid, generate_inputs
+
+        n = 30_000_000
+        system = PIMSystem()
+        xs = generate_inputs(2000)
+        sg = Sigmoid("llut_i").setup()
+        res = sg.run(xs, system, virtual_n=n)
+
+        model = DEFAULT_ENERGY_MODEL
+        pim = model.pim_energy(res, bytes_in=4 * n, bytes_out=4 * n)
+        cpu = model.cpu_energy(CPU_SIGMOID.seconds(n, 32), bytes_moved=8 * n)
+        assert pim.total_joules > cpu.total_joules
+
+    def test_transfer_energy_negligible_vs_compute(self):
+        """Data movement costs time (bandwidth), not joules, at DDR4 scale."""
+        from repro.workloads.sigmoid import Sigmoid, generate_inputs
+        n = 30_000_000
+        system = PIMSystem()
+        sg = Sigmoid("llut_i").setup()
+        res = sg.run(generate_inputs(2000), system, virtual_n=n)
+        rep = DEFAULT_ENERGY_MODEL.pim_energy(res, 4 * n, 4 * n)
+        assert rep.transfer_joules < 0.01 * rep.compute_joules

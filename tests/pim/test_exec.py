@@ -1,0 +1,134 @@
+"""Tests for the cycle-accurate pipeline simulator, including validation of
+the analytic pipeline model against it."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_method
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter, Tally
+from repro.pim.config import DPUConfig
+from repro.pim.exec import Instr, simulate, trace_to_program
+from repro.pim.pipeline import PipelineModel
+
+CFG = DPUConfig()
+SPACING = CFG.issue_spacing
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        res = simulate([[Instr(slots=1)]])
+        assert res.cycles == 1
+        assert res.issued == 1
+
+    def test_single_tasklet_spacing(self):
+        # Two unit instructions of one tasklet are 11 cycles apart.
+        res = simulate([[Instr(slots=2)]])
+        assert res.cycles == SPACING + 1
+
+    def test_single_tasklet_long_sequence(self):
+        res = simulate([[Instr(slots=100)]])
+        assert res.cycles == 99 * SPACING + 1
+
+    def test_saturated_pipeline_full_utilization(self):
+        programs = [[Instr(slots=100)] for _ in range(SPACING)]
+        res = simulate(programs)
+        assert res.utilization > 0.99
+
+    def test_two_tasklets_interleave(self):
+        res = simulate([[Instr(slots=10)], [Instr(slots=10)]])
+        # Throughput doubles vs one tasklet.
+        solo = simulate([[Instr(slots=10)]])
+        assert res.cycles < solo.cycles * 1.2
+        assert res.issued == 20
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate([])
+
+    def test_too_many_tasklets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate([[Instr(slots=1)]] * 30)
+
+
+class TestDma:
+    def test_dma_stalls_single_tasklet(self):
+        prog = [Instr(slots=1, dma_cycles=50), Instr(slots=1)]
+        res = simulate([prog])
+        # Setup issue + 50 DMA cycles + spacing before the next issue.
+        assert res.cycles >= 50
+        assert res.dma_busy_cycles == 50
+
+    def test_dma_hidden_with_many_tasklets(self):
+        with_dma = [[Instr(slots=20, dma_cycles=8), Instr(slots=20)]
+                    for _ in range(16)]
+        without = [[Instr(slots=20), Instr(slots=20)] for _ in range(16)]
+        r_dma = simulate(with_dma)
+        r_plain = simulate(without)
+        # The 8-cycle transfers hide almost entirely behind other tasklets.
+        assert r_dma.cycles < r_plain.cycles * 1.15
+
+    def test_dma_engine_is_serial(self):
+        programs = [[Instr(slots=1, dma_cycles=100)] for _ in range(4)]
+        res = simulate(programs)
+        assert res.cycles >= 400  # four serialized 100-cycle transfers
+
+
+class TestTraceConversion:
+    def test_counter_trace_roundtrip(self):
+        trace = []
+        ctx = CycleCounter(trace_ops=trace)
+        ctx.fmul(1.0, 2.0)
+        ctx.iadd(1, 2)
+        table = np.arange(4, dtype=np.float32)
+        ctx.mram_read(table, 1, elem_bytes=4)
+        prog = trace_to_program(trace)
+        assert [i.slots for i in prog] == [
+            ctx.costs.fp_mul, ctx.costs.int_alu, ctx.costs.mram_dma_setup
+        ]
+        assert prog[2].dma_cycles > 0
+
+    def test_trace_slots_match_tally(self):
+        trace = []
+        ctx = CycleCounter(trace_ops=trace)
+        ctx.fadd(1.0, 2.0)
+        ctx.fdiv(1.0, 3.0)
+        assert sum(t[1] for t in trace) == ctx.slots
+
+
+class TestAnalyticModelValidation:
+    """The headline: the closed-form pipeline model tracks the simulator."""
+
+    @staticmethod
+    def _method_program(placement="mram"):
+        m = make_method("sin", "llut_i", density_log2=10,
+                        placement=placement).setup()
+        trace = []
+        ctx = CycleCounter(trace_ops=trace)
+        for x in (0.5, 1.7, 3.1, 4.9, 6.1):
+            m.evaluate(ctx, x)
+        return trace_to_program(trace), ctx.reset()
+
+    @pytest.mark.parametrize("tasklets", [1, 2, 4, 8, 11, 16])
+    def test_model_within_tolerance(self, tasklets):
+        prog, tally = self._method_program()
+        programs = [list(prog) for _ in range(tasklets)]
+        sim = simulate(programs)
+        # The analytic model sees the aggregate tally of all tasklets.
+        total = Tally(slots=tally.slots * tasklets,
+                      dma_latency=tally.dma_latency * tasklets)
+        model = PipelineModel(CFG).cycles(total, tasklets)
+        assert model == pytest.approx(sim.cycles, rel=0.15), tasklets
+
+    def test_saturation_point_matches(self):
+        prog, _ = self._method_program()
+        per11 = simulate([list(prog)] * 11).cycles / 11
+        per16 = simulate([list(prog)] * 16).cycles / 16
+        assert per16 == pytest.approx(per11, rel=0.05)
+
+    def test_wram_vs_mram_gap_small_when_saturated(self):
+        prog_m, _ = self._method_program("mram")
+        prog_w, _ = self._method_program("wram")
+        m = simulate([list(prog_m)] * 16).cycles
+        w = simulate([list(prog_w)] * 16).cycles
+        assert m < w * 1.1  # Observation 4, from first principles

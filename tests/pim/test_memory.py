@@ -1,0 +1,82 @@
+"""Tests for the WRAM/MRAM memory-region allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryLayoutError
+from repro.pim.memory import MemoryRegion
+
+
+class TestAllocation:
+    def test_basic_allocate(self):
+        region = MemoryRegion("WRAM", 1024)
+        alloc = region.allocate(100, "table")
+        assert alloc.offset == 0
+        assert alloc.nbytes == 104  # rounded to 8-byte alignment
+        assert region.used_bytes == 104
+
+    def test_sequential_offsets(self):
+        region = MemoryRegion("WRAM", 1024)
+        a = region.allocate(8, "a")
+        b = region.allocate(8, "b")
+        assert b.offset == a.end == 8
+
+    def test_alignment(self):
+        region = MemoryRegion("WRAM", 1024)
+        region.allocate(1, "tiny")
+        assert region.used_bytes == 8
+
+    def test_overflow_raises(self):
+        region = MemoryRegion("WRAM", 64)
+        region.allocate(56, "big")
+        with pytest.raises(MemoryLayoutError, match="does not fit"):
+            region.allocate(16, "too-much")
+
+    def test_exact_fit(self):
+        region = MemoryRegion("WRAM", 64)
+        region.allocate(64, "all")
+        assert region.free_bytes == 0
+
+    def test_negative_size_rejected(self):
+        region = MemoryRegion("WRAM", 64)
+        with pytest.raises(MemoryLayoutError):
+            region.allocate(-1, "bad")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(MemoryLayoutError):
+            MemoryRegion("X", 0)
+
+    def test_fits(self):
+        region = MemoryRegion("WRAM", 64)
+        assert region.fits(64)
+        assert not region.fits(65)
+
+    def test_reset(self):
+        region = MemoryRegion("WRAM", 64)
+        region.allocate(32, "x")
+        region.reset()
+        assert region.used_bytes == 0
+        assert region.allocations == []
+
+
+class TestTables:
+    def test_store_and_retrieve(self):
+        region = MemoryRegion("MRAM", 1 << 20)
+        table = np.arange(100, dtype=np.float32)
+        alloc = region.store_table("sin", table)
+        assert alloc.nbytes == 400
+        np.testing.assert_array_equal(region.table("sin"), table)
+
+    def test_missing_table_raises(self):
+        region = MemoryRegion("MRAM", 1024)
+        with pytest.raises(MemoryLayoutError, match="no table"):
+            region.table("nope")
+
+    def test_wram_sized_lut_capacity(self):
+        # A 64 KB scratchpad holds at most 16K float32 entries — the
+        # constraint behind the paper's WRAM accuracy ceiling.
+        region = MemoryRegion("WRAM", 64 * 1024)
+        table = np.zeros(16 * 1024, dtype=np.float32)
+        region.store_table("lut", table)
+        with pytest.raises(MemoryLayoutError):
+            region.allocate(8, "more")

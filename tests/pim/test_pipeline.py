@@ -1,0 +1,74 @@
+"""Tests for the fine-grained multithreaded pipeline timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.counter import Tally
+from repro.pim.config import DPUConfig
+from repro.pim.pipeline import PipelineModel
+
+MODEL = PipelineModel(DPUConfig())
+
+
+class TestThroughput:
+    def test_single_tasklet(self):
+        assert MODEL.throughput(1) == pytest.approx(1 / 11)
+
+    def test_saturation_at_issue_spacing(self):
+        assert MODEL.throughput(11) == 1.0
+
+    def test_no_gain_beyond_saturation(self):
+        assert MODEL.throughput(16) == MODEL.throughput(11) == 1.0
+
+    def test_linear_below_saturation(self):
+        assert MODEL.throughput(4) == pytest.approx(4 / 11)
+
+    def test_invalid_tasklets(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.throughput(0)
+        with pytest.raises(ConfigurationError):
+            MODEL.throughput(25)
+
+
+class TestEstimate:
+    def test_pure_compute_saturated(self):
+        tally = Tally(slots=1000)
+        assert MODEL.cycles(tally, 16) == 1000
+
+    def test_pure_compute_single_tasklet(self):
+        tally = Tally(slots=1000)
+        assert MODEL.cycles(tally, 1) == pytest.approx(11000)
+
+    def test_dma_exposed_at_one_tasklet(self):
+        tally = Tally(slots=100, dma_latency=500)
+        est = MODEL.estimate(tally, 1)
+        assert est.exposed_dma_cycles == pytest.approx(500)
+        assert est.total_cycles == pytest.approx(100 * 11 + 500)
+
+    def test_dma_hidden_when_saturated(self):
+        tally = Tally(slots=1000, dma_latency=500)
+        est = MODEL.estimate(tally, 16)
+        assert est.exposed_dma_cycles == 0
+        assert est.total_cycles == 1000
+        assert est.dma_hidden_fraction == 1.0
+
+    def test_dma_engine_occupancy_floor(self):
+        # Even hidden DMA cannot make total cycles drop below engine time.
+        tally = Tally(slots=100, dma_latency=5000)
+        est = MODEL.estimate(tally, 16)
+        assert est.total_cycles == 5000
+
+    def test_partial_overlap(self):
+        tally = Tally(slots=1000, dma_latency=110)
+        est = MODEL.estimate(tally, 6)
+        # overlap = 5/11 of latency hidden
+        assert est.exposed_dma_cycles == pytest.approx(110 * (1 - 5 / 11))
+
+    def test_monotone_in_tasklets(self):
+        tally = Tally(slots=1000, dma_latency=300)
+        cycles = [MODEL.cycles(tally, t) for t in range(1, 17)]
+        assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_hidden_fraction_no_dma(self):
+        est = MODEL.estimate(Tally(slots=10), 4)
+        assert est.dma_hidden_fraction == 0.0

@@ -1,0 +1,123 @@
+"""Tests for the multi-core PIM system model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pim.config import DPUConfig, SystemConfig
+from repro.pim.system import PIMSystem
+
+
+def identity_kernel(ctx, x):
+    return ctx.fadd(x, 0.0)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = SystemConfig()
+        assert cfg.n_dpus == 2545
+        assert cfg.dpu.frequency_mhz == 350.0
+
+    def test_invalid_dpus(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_dpus=0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            DPUConfig(frequency_mhz=0)
+
+    def test_transfer_seconds(self):
+        cfg = SystemConfig(host_to_pim_bw=1e9, pim_to_host_bw=2e9)
+        assert cfg.host_to_pim_seconds(1_000_000) == pytest.approx(1e-3)
+        assert cfg.pim_to_host_seconds(1_000_000) == pytest.approx(0.5e-3)
+
+
+class TestElementsPerDpu:
+    def test_even_split(self):
+        sys_ = PIMSystem(SystemConfig(n_dpus=10))
+        assert sys_.elements_per_dpu(100) == 10
+
+    def test_rounds_up(self):
+        sys_ = PIMSystem(SystemConfig(n_dpus=10))
+        assert sys_.elements_per_dpu(101) == 11
+
+    def test_fewer_elements_than_dpus(self):
+        sys_ = PIMSystem(SystemConfig(n_dpus=10))
+        assert sys_.elements_per_dpu(3) == 1
+
+
+class TestRun:
+    def test_timing_components(self, rng):
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 10000).astype(np.float32)
+        res = sys_.run(identity_kernel, xs)
+        assert res.host_to_pim_seconds > 0
+        assert res.pim_to_host_seconds > 0
+        assert res.kernel_seconds > 0
+        assert res.total_seconds == pytest.approx(
+            res.kernel_seconds + res.host_to_pim_seconds
+            + res.pim_to_host_seconds + res.launch_seconds
+        )
+
+    def test_no_transfers_mode(self, rng):
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 10000).astype(np.float32)
+        res = sys_.run(identity_kernel, xs, include_transfers=False)
+        assert res.host_to_pim_seconds == 0
+        assert res.pim_to_host_seconds == 0
+        assert res.compute_only_seconds < sys_.run(identity_kernel, xs).total_seconds
+
+    def test_more_dpus_faster_kernel(self, rng):
+        xs = rng.uniform(0, 1, 100000).astype(np.float32)
+        small = PIMSystem(SystemConfig(n_dpus=100))
+        big = PIMSystem(SystemConfig(n_dpus=2000))
+        t_small = small.run(identity_kernel, xs).kernel_seconds
+        t_big = big.run(identity_kernel, xs).kernel_seconds
+        assert t_big < t_small
+
+    def test_empty_raises(self):
+        sys_ = PIMSystem()
+        with pytest.raises(SimulationError):
+            sys_.run(identity_kernel, np.array([], dtype=np.float32))
+
+    def test_kernel_time_scales_with_share(self, rng):
+        # With n_dpus=1 the kernel time equals the single-core time.
+        xs = rng.uniform(0, 1, 5000).astype(np.float32)
+        sys_ = PIMSystem(SystemConfig(n_dpus=1))
+        res = sys_.run(identity_kernel, xs)
+        assert res.kernel_seconds == pytest.approx(res.per_dpu.seconds)
+
+
+class TestImbalance:
+    def test_straggler_slows_the_launch(self, rng):
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 5000).astype(np.float32)
+        even = sys_.run(identity_kernel, xs, virtual_n=10_000_000)
+        skewed = sys_.run(identity_kernel, xs, virtual_n=10_000_000,
+                          imbalance=0.5)
+        assert skewed.kernel_seconds == pytest.approx(
+            1.5 * even.kernel_seconds, rel=1e-9)
+
+    def test_transfers_unaffected_by_imbalance(self, rng):
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 5000).astype(np.float32)
+        even = sys_.run(identity_kernel, xs)
+        skewed = sys_.run(identity_kernel, xs, imbalance=1.0)
+        assert skewed.host_to_pim_seconds == even.host_to_pim_seconds
+
+    def test_negative_imbalance_rejected(self, rng):
+        from repro.errors import SimulationError
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 100).astype(np.float32)
+        with pytest.raises(SimulationError):
+            sys_.run(identity_kernel, xs, imbalance=-0.1)
+
+
+class TestTransferBalance:
+    def test_unbalanced_serializes(self, rng):
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 2000).astype(np.float32)
+        par = sys_.run(identity_kernel, xs, virtual_n=10_000_000)
+        ser = sys_.run(identity_kernel, xs, virtual_n=10_000_000,
+                       balanced_transfers=False)
+        assert ser.host_to_pim_seconds > 10 * par.host_to_pim_seconds

@@ -1,0 +1,89 @@
+"""API-surface fuzzing: random valid configurations must behave.
+
+Hypothesis draws (function, method, precision knob) combinations from the
+support matrix's valid space; every draw must construct, set up, evaluate
+finitely over its bench domain, agree between scalar and vectorized paths,
+and report consistent memory/setup metadata.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import make_method
+from repro.core.functions.registry import get_function
+from repro.core.functions.support import METHOD_SUPPORT
+from repro.isa.counter import CycleCounter
+
+_F32 = np.float32
+
+
+def _configs():
+    """Strategy producing (function, method, params) triples."""
+    knob = {
+        "cordic": ("iterations", st.integers(4, 32)),
+        "cordic_fx": ("iterations", st.integers(4, 32)),
+        "poly": ("degree", st.integers(2, 16)),
+        "mlut": ("size", st.integers(16, 1 << 14)),
+        "mlut_i": ("size", st.integers(16, 1 << 14)),
+        "llut": ("density_log2", st.integers(2, 16)),
+        "llut_i": ("density_log2", st.integers(2, 16)),
+        "llut_fx": ("density_log2", st.integers(2, 16)),
+        "llut_i_fx": ("density_log2", st.integers(2, 16)),
+        "dlut": ("mant_bits", st.integers(2, 12)),
+        "dlut_i": ("mant_bits", st.integers(2, 12)),
+        "dllut": ("mant_bits", st.integers(2, 12)),
+        "dllut_i": ("mant_bits", st.integers(2, 12)),
+        "slut_i": ("seg_bits", st.integers(2, 6)),
+    }
+    pairs = [(m, f) for m, funcs in METHOD_SUPPORT.items()
+             for f in sorted(funcs) if m != "cordic_lut"]
+
+    @st.composite
+    def config(draw):
+        method, function = draw(st.sampled_from(pairs))
+        name, strategy = knob[method]
+        return function, method, {name: draw(strategy)}
+
+    return config()
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=_configs())
+def test_random_valid_configuration_behaves(cfg):
+    function, method, params = cfg
+    spec = get_function(function)
+    m = make_method(function, method, assume_in_range=False, **params)
+    m.setup()
+
+    rng = np.random.default_rng(123)
+    lo, hi = spec.bench_domain
+    xs = rng.uniform(lo, hi, 64).astype(_F32)
+
+    out = m.evaluate_vec(xs)
+    assert out.shape == xs.shape
+    assert np.all(np.isfinite(out)), (function, method, params)
+
+    ctx = CycleCounter()
+    scalar = np.array([m.evaluate(ctx, float(x)) for x in xs[:8]],
+                      dtype=_F32)
+    np.testing.assert_array_equal(scalar, out[:8])
+
+    assert m.table_bytes() >= 0
+    assert m.host_entries() >= 0
+    assert m.element_tally(float(xs[0])).slots > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(cfg=_configs())
+def test_random_configuration_cost_deterministic(cfg):
+    """The same configuration always charges the same per-element slots for
+    the same input (no hidden state across evaluations)."""
+    function, method, params = cfg
+    m = make_method(function, method, assume_in_range=False, **params).setup()
+    spec = get_function(function)
+    x = float(np.float32(sum(spec.bench_domain) / 2 + 0.1))
+    a = m.element_tally(x).slots
+    b = m.element_tally(x).slots
+    assert a == b

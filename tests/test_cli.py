@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        for cmd in ("fig5", "fig6", "fig7", "fig8", "fig9", "table2",
+                    "explore", "recommend", "breakdown"):
+            assert cmd in sub.choices
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "llut_i" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "sqrt" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "sin", "llut_i", "density_log2=10"]) == 0
+        out = capsys.readouterr().out
+        assert "instruction breakdown" in out
+        assert "fmul" in out
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "sin", "--rmse", "1e-4",
+                     "--evals", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended methods" in out
+
+    def test_fig_quick(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "cordic" in out
+
+
+class TestNewCommands:
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle-accurate" in out and "tasklets" in out
+
+    def test_pareto_quick(self, capsys):
+        assert main(["pareto", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    def test_listing(self, capsys):
+        assert main(["listing", "sin", "llut", "density_log2=10"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel listing" in out and "fadd" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "sin", "llut_i", "density_log2=10",
+                     "--bins", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "error profile" in out

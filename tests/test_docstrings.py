@@ -1,0 +1,60 @@
+"""Quality gate: every public module, class, and function is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES = set()
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES:
+            continue
+        if info.name.rsplit(".", 1)[-1].startswith("_"):
+            continue  # __main__ executes on import
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_public_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(member):
+                    continue
+                if member.__doc__ and member.__doc__.strip():
+                    continue
+                # Overrides inherit their contract's documentation.
+                inherited = any(
+                    getattr(base, mname, None) is not None
+                    and getattr(getattr(base, mname), "__doc__", None)
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {undocumented}"
+    )

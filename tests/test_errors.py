@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy and the package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    MemoryLayoutError,
+    RangeError,
+    SimulationError,
+    TransPimError,
+    UnsupportedFunctionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, UnsupportedFunctionError, RangeError,
+        MemoryLayoutError, SimulationError,
+    ])
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, TransPimError)
+
+    def test_unsupported_function_message(self):
+        e = UnsupportedFunctionError("sin", "dlut", "periodic")
+        assert "sin" in str(e) and "dlut" in str(e) and "periodic" in str(e)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(TransPimError):
+            repro.make_method("sin", "dlut")
+
+
+class TestPackageSurface:
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_from_docstring(self):
+        import numpy as np
+        sin = repro.make_method("sin", "llut_i", density_log2=12).setup()
+        x = np.linspace(0, 2 * np.pi, 100, dtype=np.float32)
+        y = sin.evaluate_vec(x)
+        assert np.allclose(y, np.sin(x), atol=1e-5)
+        assert sin.mean_slots(x[:8]) > 0

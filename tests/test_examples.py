@@ -1,0 +1,72 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example's ``main()`` is imported and executed (with output captured);
+these catch API drift between the library and its documented entry points.
+"""
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR.parent))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "accuracy" in out and "CORDIC" in out
+
+    def test_runtime_pipeline(self, capsys):
+        _load("runtime_pipeline").main()
+        out = capsys.readouterr().out
+        assert "installed 5 functions" in out
+        assert "WRAM" in out
+
+    def test_method_explorer(self, capsys):
+        _load("method_explorer").main("sqrt")
+        out = capsys.readouterr().out
+        assert "method tradeoffs" in out
+        assert "fastest:" in out
+
+    @pytest.mark.slow
+    def test_option_pricing(self, capsys):
+        mod = _load("option_pricing")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "Black-Scholes" in out and "pim fixed_full" in out
+
+    @pytest.mark.slow
+    def test_activation_functions(self, capsys):
+        _load("activation_functions").main()
+        out = capsys.readouterr().out
+        assert "argmax agreement" in out
+
+
+class TestExamplesAreListed:
+    def test_all_examples_have_main(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            module = _load(path.stem)
+            assert hasattr(module, "main"), path.name
+
+    def test_readme_mentions_examples(self):
+        readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+        for name in ("quickstart", "option_pricing", "activation_functions",
+                     "method_explorer"):
+            assert name in readme, name

@@ -1,0 +1,73 @@
+"""Golden regression tests: exact values pinned for key configurations.
+
+The library is fully deterministic (seeded inputs, exact float32 semantics,
+integer cycle costs), so accuracy and per-element slots for a fixed
+configuration are *exact* expectations, not tolerances.  Any semantic change
+— a different rounding mode, a reordered float expression, a cost-model
+edit — shows up here before it silently shifts the reproduced figures.
+
+If a change is intentional (e.g. retuning OpCosts), update these constants
+and the affected EXPERIMENTS.md entries together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import default_inputs
+from repro.api import make_method
+from repro.core.accuracy import measure
+from repro.core.functions.registry import get_function
+
+#: (method, params, exact RMSE over the seeded 2^16 inputs, slots at x=1.0)
+GOLDEN_SINE = [
+    ("llut", {"density_log2": 12}, 4.963091208006544e-05, 114),
+    ("llut_i", {"density_log2": 11}, 2.4368172155101102e-08, 995),
+    ("llut_i_fx", {"density_log2": 11}, 2.141022711192349e-08, 281),
+    ("mlut", {"size": 4096}, 0.00031319491399894265, 560),
+    ("cordic", {"iterations": 24}, 8.398394570083223e-08, 5815),
+    ("poly", {"degree": 12}, 1.4463831883455122e-07, 6500),
+    ("slut_i", {"target_rmse": 1e-07, "seg_bits": 4},
+     7.037527561024621e-08, 1206),
+    ("cordic_fx", {"iterations": 24}, 5.101572190034314e-08, 667),
+]
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return default_inputs("sin")
+
+
+@pytest.mark.parametrize("method,params,rmse,slots", GOLDEN_SINE,
+                         ids=[g[0] for g in GOLDEN_SINE])
+def test_golden_sine_configuration(method, params, rmse, slots, inputs):
+    spec = get_function("sin")
+    m = make_method("sin", method, **params).setup()
+    rep = measure(m.evaluate_vec, spec.reference, inputs)
+    assert rep.rmse == rmse, (
+        f"{method} RMSE drifted: {rep.rmse!r} != {rmse!r} — semantic change?"
+    )
+    assert m.element_tally(1.0).slots == slots, (
+        f"{method} cost drifted — cost model or instruction sequence changed"
+    )
+
+
+def test_golden_blackscholes_price():
+    """One pinned option price through the full llut_i kernel."""
+    from repro.workloads.blackscholes import Blackscholes, generate_options
+    batch = generate_options(4, seed=7)
+    bs = Blackscholes("llut_i").setup()
+    prices = bs.prices(batch)
+    # Deterministic float32 pipeline: exact expectations.
+    reference = np.array(prices, dtype=np.float32)  # self-consistency shape
+    assert prices.dtype == np.float32
+    from repro.workloads.blackscholes import reference_call_prices
+    err = np.abs(prices.astype(np.float64) - reference_call_prices(batch))
+    assert err.max() < 1e-3
+
+
+def test_golden_determinism_across_runs(inputs):
+    """Two fresh constructions produce bit-identical outputs."""
+    a = make_method("sin", "llut_i", density_log2=11).setup()
+    b = make_method("sin", "llut_i", density_log2=11).setup()
+    np.testing.assert_array_equal(a.evaluate_vec(inputs),
+                                  b.evaluate_vec(inputs))

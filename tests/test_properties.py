@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold across the whole library, regardless of method or
+parameter choice: geometric consistency of address generation, preservation
+of function symmetries and bounds through the methods, and structural
+invariants of the simulator.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import make_method
+from repro.core.functions.registry import get_function
+from repro.core.lut.llut import _LLUTGeometry
+from repro.core.range_reduction import PeriodicReducer
+from repro.fixedpoint import Q3_28
+from repro.isa.counter import CycleCounter
+from repro.pim.exec import Instr, simulate
+
+_F32 = np.float32
+
+
+class TestLLUTGeometryProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=18))
+    def test_grid_points_map_to_their_own_index(self, n):
+        """a(a_inv(i)) == i for every representable grid point."""
+        spec = get_function("sin")
+        geom = _LLUTGeometry(spec, n, None)
+        idx = np.arange(min(geom.entries, 256))
+        points = geom.a_inv(idx).astype(_F32)
+        t = (points + geom.c).astype(_F32)
+        got = (t.view(np.uint32).astype(np.int64)) & ((1 << 22) - 1)
+        np.testing.assert_array_equal(got, idx)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=16),
+           lo=st.floats(min_value=-4.0, max_value=3.0),
+           width=st.floats(min_value=0.5, max_value=4.0))
+    def test_entry_count_covers_interval(self, n, lo, width):
+        spec = get_function("sin")
+        geom = _LLUTGeometry(spec, n, (lo, lo + width))
+        # The last real entry's preimage reaches past hi.
+        assert geom.a_inv(np.array([geom.entries - 1]))[0] >= lo + width
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=16))
+    def test_origin_on_grid(self, n):
+        spec = get_function("exp")
+        geom = _LLUTGeometry(spec, n, (-1.3, 0.7))
+        assert geom.p == math.floor(-1.3 * 2.0 ** n) / 2.0 ** n
+        assert _F32(geom.p) == geom.p  # exactly representable
+
+
+class TestMethodInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.floats(min_value=-50.0, max_value=50.0, width=32))
+    def test_sine_odd_symmetry_exact(self, x):
+        """The odd-symmetry reduction makes f(-x) == -f(x) bit-exact."""
+        m = make_method("tanh", "llut_i", density_log2=10,
+                        assume_in_range=False).setup()
+        ctx = CycleCounter()
+        pos = m.evaluate(ctx, abs(x))
+        neg = m.evaluate(ctx, -abs(x))
+        assert neg == _F32(-pos) or (pos == 0 and neg == 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=st.floats(min_value=-30.0, max_value=30.0, width=32))
+    def test_sigmoid_complement_exact(self, x):
+        m = make_method("sigmoid", "llut_i", density_log2=10,
+                        assume_in_range=False).setup()
+        ctx = CycleCounter()
+        a = float(m.evaluate(ctx, x))
+        b = float(m.evaluate(ctx, -x))
+        assert a + b == pytest.approx(1.0, abs=1e-6)
+
+    def test_sigmoid_bounds(self, rng):
+        m = make_method("sigmoid", "llut_i", density_log2=10,
+                        assume_in_range=False).setup()
+        xs = rng.uniform(-100, 100, 4096).astype(_F32)
+        out = m.evaluate_vec(xs)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_tanh_bounds(self, rng):
+        m = make_method("tanh", "dlut_i", mant_bits=8,
+                        assume_in_range=False).setup()
+        xs = rng.uniform(-100, 100, 4096).astype(_F32)
+        out = m.evaluate_vec(xs)
+        assert out.min() >= -1.0 - 1e-6 and out.max() <= 1.0 + 1e-6
+
+    def test_monotone_function_stays_monotone_noninterp(self):
+        """Nearest-entry tables of monotone functions remain monotone."""
+        m = make_method("tanh", "llut", density_log2=10,
+                        assume_in_range=True).setup()
+        xs = np.linspace(0, 7.9, 4096, dtype=_F32)
+        out = m.evaluate_vec(xs)
+        assert np.all(np.diff(out) >= 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=st.floats(min_value=0.0, max_value=6.28125, width=32))
+    def test_cost_data_independence_lut(self, x):
+        """LUT cost must not depend on the input value (no timing channel)."""
+        m = make_method("sin", "llut", density_log2=10).setup()
+        base = m.element_tally(1.0).slots
+        assert m.element_tally(float(x)).slots == base
+
+
+class TestReducerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(x=st.floats(min_value=-1e4, max_value=1e4, width=32))
+    def test_periodic_idempotent(self, x):
+        r = PeriodicReducer(2 * math.pi)
+        ctx = CycleCounter()
+        once, _ = r.reduce(ctx, _F32(x))
+        twice, _ = r.reduce(ctx, once)
+        assert float(twice) == pytest.approx(float(once), abs=1e-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=st.integers(min_value=-2**40, max_value=2**40))
+    def test_qformat_wrap_periodic(self, raw):
+        modulus = 1 << Q3_28.word_bits
+        assert Q3_28.wrap(raw) == Q3_28.wrap(raw + modulus)
+        assert Q3_28.wrap(raw) == Q3_28.wrap(raw - modulus)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(slots=st.lists(st.integers(min_value=1, max_value=40),
+                          min_size=1, max_size=6),
+           tasklets=st.integers(min_value=1, max_value=12))
+    def test_issued_equals_total_units(self, slots, tasklets):
+        prog = [Instr(slots=s) for s in slots]
+        res = simulate([list(prog) for _ in range(tasklets)])
+        assert res.issued == sum(slots) * tasklets
+
+    @settings(max_examples=25, deadline=None)
+    @given(slots=st.lists(st.integers(min_value=1, max_value=40),
+                          min_size=1, max_size=6),
+           tasklets=st.integers(min_value=1, max_value=12))
+    def test_cycles_bounded_below_by_units(self, slots, tasklets):
+        prog = [Instr(slots=s) for s in slots]
+        res = simulate([list(prog) for _ in range(tasklets)])
+        assert res.cycles >= sum(slots) * tasklets / 11
+        assert res.utilization <= 1.0 + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(slots=st.integers(min_value=5, max_value=60))
+    def test_more_tasklets_never_slower_per_element(self, slots):
+        prog = [Instr(slots=slots)]
+        per = []
+        for t in (1, 4, 11):
+            res = simulate([list(prog) for _ in range(t)])
+            per.append(res.cycles / t)
+        assert per[0] >= per[1] >= per[2]

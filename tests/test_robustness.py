@@ -1,0 +1,88 @@
+"""Failure-injection tests: hostile inputs must never crash a method.
+
+Real PIM kernels receive whatever bits sit in the bank: NaNs, infinities,
+subnormals, negative zeros.  The library's contract is the DPU's —
+garbage-in may produce garbage-out, but evaluation always completes and
+ordinary inputs in the same batch are unaffected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import make_method
+from repro.core.functions.support import METHOD_SUPPORT
+from repro.isa.counter import CycleCounter
+
+_F32 = np.float32
+
+HOSTILE = [
+    float("nan"), float("inf"), float("-inf"),
+    0.0, -0.0, 1e-42, -1e-42, 3.4e38, -3.4e38,
+]
+
+_PARAMS = {
+    "cordic": {"iterations": 12},
+    "cordic_fx": {"iterations": 12},
+    "poly": {"degree": 6},
+    "slut_i": {"target_rmse": 1e-4, "seg_bits": 3},
+    "cordic_lut": {"iterations": 12, "lut_bits": 4},
+    "mlut": {"size": 256},
+    "mlut_i": {"size": 257},
+    "llut": {"density_log2": 8},
+    "llut_i": {"density_log2": 8},
+    "llut_fx": {"density_log2": 8},
+    "llut_i_fx": {"density_log2": 8},
+    "dlut": {"mant_bits": 6},
+    "dlut_i": {"mant_bits": 6},
+    "dllut": {"mant_bits": 6},
+    "dllut_i": {"mant_bits": 6},
+}
+
+#: A representative function per method (all methods support these).
+_FUNCTION_FOR = {
+    "cordic": "sin", "cordic_fx": "sin", "cordic_lut": "sin", "poly": "sin", "slut_i": "sin",
+    "mlut": "sin", "mlut_i": "sin", "llut": "sin", "llut_i": "sin",
+    "llut_fx": "sin", "llut_i_fx": "sin",
+    "dlut": "tanh", "dlut_i": "tanh", "dllut": "tanh", "dllut_i": "tanh",
+}
+
+
+@pytest.mark.parametrize("method", sorted(METHOD_SUPPORT))
+def test_hostile_scalars_never_raise(method):
+    function = _FUNCTION_FOR[method]
+    m = make_method(function, method, assume_in_range=False,
+                    **_PARAMS[method]).setup()
+    ctx = CycleCounter()
+    for x in HOSTILE:
+        out = m.evaluate(ctx, x)  # must complete
+        assert out is not None
+
+
+@pytest.mark.parametrize("method", ["llut_i", "mlut_i", "cordic", "dlut_i"])
+def test_hostile_elements_do_not_poison_neighbors(method):
+    """A NaN in the batch must not corrupt the other elements' results."""
+    function = _FUNCTION_FOR[method]
+    m = make_method(function, method, assume_in_range=False,
+                    **_PARAMS[method]).setup()
+    clean = np.array([0.5, 1.5, 2.5], dtype=_F32)
+    dirty = np.array([0.5, np.nan, 1.5, np.inf, 2.5], dtype=_F32)
+    out_clean = m.evaluate_vec(clean)
+    out_dirty = m.evaluate_vec(dirty)
+    np.testing.assert_array_equal(out_clean, out_dirty[[0, 2, 4]])
+
+
+def test_workload_kernels_survive_nan_options():
+    from repro.workloads.blackscholes import Blackscholes, generate_options
+    batch = generate_options(8)
+    batch.spot[3] = np.nan
+    bs = Blackscholes("llut_i").setup()
+    prices = bs.prices(batch)
+    assert prices.shape == (8,)
+    assert np.isfinite(prices[[0, 1, 2, 4, 5, 6, 7]]).all()
+
+
+def test_conversions_defined_for_nonfinite(ctx):
+    assert ctx.f2i(float("nan")) == 0
+    assert ctx.ffloor(float("inf")) == 0
+    assert ctx.fround(float("-inf")) == 0
+    assert ctx.f2fx(float("nan"), 28) == 0

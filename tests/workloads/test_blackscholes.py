@@ -1,0 +1,148 @@
+"""Tests for the Blackscholes workload and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter
+from repro.pim.config import SystemConfig
+from repro.pim.system import PIMSystem
+from repro.workloads.blackscholes import (
+    VARIANTS,
+    Blackscholes,
+    generate_options,
+    reference_call_prices,
+)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return generate_options(4000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def reference(batch):
+    return reference_call_prices(batch)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PIMSystem()
+
+
+class TestDataset:
+    def test_shapes(self, batch):
+        assert batch.n == 4000
+        assert batch.records().shape == (4000, 5)
+
+    def test_parameter_ranges(self, batch):
+        assert batch.volatility.min() >= 0.10
+        assert batch.time.max() <= 1.00
+        ratio = batch.spot / batch.strike
+        assert ratio.min() > 0.25 and ratio.max() < 4.0
+
+    def test_deterministic(self):
+        a = generate_options(100, seed=5)
+        b = generate_options(100, seed=5)
+        np.testing.assert_array_equal(a.spot, b.spot)
+
+
+class TestPriceSanity:
+    def test_reference_within_no_arbitrage_bounds(self, batch, reference):
+        s = batch.spot.astype(np.float64)
+        k = batch.strike.astype(np.float64)
+        r = batch.rate.astype(np.float64)
+        t = batch.time.astype(np.float64)
+        intrinsic = np.maximum(s - k * np.exp(-r * t), 0.0)
+        assert np.all(reference >= intrinsic - 1e-9)
+        assert np.all(reference <= s + 1e-9)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variant_accuracy(self, variant, batch, reference):
+        bs = Blackscholes(variant).setup()
+        prices = bs.prices(batch).astype(np.float64)
+        err = np.abs(prices - reference)
+        # Prices are tens of dollars; everything should agree to < 0.01 cents.
+        assert err.max() < 1e-3, variant
+        rel = err / np.maximum(reference, 0.1)
+        assert np.median(rel) < 1e-5, variant
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_kernel_matches_vectorized(self, variant, batch):
+        bs = Blackscholes(variant).setup()
+        recs = batch.records()[:12]
+        ctx = CycleCounter()
+        scalar = np.array([bs.kernel(ctx, r) for r in recs], dtype=np.float32)
+        vec_prices = bs.prices(generate_options(4000, seed=11)).astype(np.float32)
+        np.testing.assert_allclose(scalar, vec_prices[:12], rtol=2e-4, atol=2e-3)
+
+
+class TestTiming:
+    def test_variant_ordering(self, batch, system):
+        """Figure 9's qualitative content: poly slowest, fixed fastest."""
+        times = {}
+        for variant in ("poly", "mlut_i", "llut_i", "llut_i_fx"):
+            bs = Blackscholes(variant).setup()
+            times[variant] = bs.run(batch, system).total_seconds
+        assert times["poly"] > 2 * times["llut_i"]
+        assert times["mlut_i"] > times["llut_i"]
+        assert times["llut_i_fx"] < times["llut_i"]
+
+    def test_fixed_full_fastest(self, batch, system):
+        drop_in = Blackscholes("llut_i_fx").setup().run(batch, system)
+        full = Blackscholes("fixed_full").setup().run(batch, system)
+        assert full.total_seconds < drop_in.total_seconds
+
+    def test_run_reports_transfers(self, batch, system):
+        res = Blackscholes("llut_i").setup().run(batch, system)
+        # 20 bytes in, 4 bytes out per option.
+        assert res.host_to_pim_seconds == pytest.approx(
+            5 * res.pim_to_host_seconds * system.config.pim_to_host_bw
+            / system.config.host_to_pim_bw, rel=1e-6
+        )
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            Blackscholes("newton")
+
+    def test_run_before_setup(self, batch, system):
+        with pytest.raises(ConfigurationError):
+            Blackscholes("llut_i").run(batch, system)
+
+    def test_poly_variant_needs_no_tables(self):
+        assert Blackscholes("poly").setup().table_bytes() == 0
+
+    def test_lut_variant_reports_tables(self):
+        assert Blackscholes("llut_i").setup().table_bytes() > 1000
+
+
+class TestPutOptions:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_put_prices_match_parity(self, variant, batch):
+        from repro.workloads.blackscholes import reference_put_prices
+        bs = Blackscholes(variant).setup()
+        puts = bs.put_prices(batch).astype(np.float64)
+        ref = reference_put_prices(batch)
+        assert np.abs(puts - ref).max() < 1e-3, variant
+
+    def test_put_kernel_matches_vectorized(self, batch):
+        bs = Blackscholes("llut_i").setup()
+        recs = batch.records()[:8]
+        ctx = CycleCounter()
+        scalar = np.array([bs.kernel_put(ctx, r) for r in recs],
+                          dtype=np.float32)
+        np.testing.assert_allclose(scalar, bs.put_prices(batch)[:8],
+                                   rtol=1e-4, atol=1e-3)
+
+    def test_puts_within_no_arbitrage_bounds(self, batch):
+        bs = Blackscholes("llut_i").setup()
+        puts = bs.put_prices(batch).astype(np.float64)
+        k = batch.strike.astype(np.float64)
+        r = batch.rate.astype(np.float64)
+        t = batch.time.astype(np.float64)
+        s = batch.spot.astype(np.float64)
+        intrinsic = np.maximum(k * np.exp(-r * t) - s, 0.0)
+        assert np.all(puts >= intrinsic - 1e-3)
+        assert np.all(puts <= k + 1e-9)

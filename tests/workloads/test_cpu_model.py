@@ -1,0 +1,49 @@
+"""Tests for the CPU baseline timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.cpu_model import (
+    CPU_BLACKSCHOLES,
+    CPU_SIGMOID,
+    CPU_SOFTMAX,
+    CPUModel,
+)
+
+
+class TestScaling:
+    def test_single_thread_linear_in_n(self):
+        m = CPU_SIGMOID
+        assert m.seconds(2_000_000, 1) == pytest.approx(2 * m.seconds(1_000_000, 1))
+
+    def test_multithreading_speedup(self):
+        m = CPU_BLACKSCHOLES
+        t1 = m.seconds(10_000_000, 1)
+        t32 = m.seconds(10_000_000, 32)
+        assert t32 < t1 / 20  # near-linear scaling with efficiency loss
+
+    def test_efficiency_discount(self):
+        m = CPUModel("x", sec_per_element_1t=1e-6, bytes_per_element=1,
+                     parallel_efficiency=0.5, memory_bandwidth=1e18)
+        assert m.seconds(1000, 2) == pytest.approx(m.seconds(1000, 1))
+
+    def test_memory_bandwidth_floor(self):
+        m = CPUModel("x", sec_per_element_1t=1e-12, bytes_per_element=8,
+                     memory_bandwidth=1e9)
+        # Compute is negligible; time is bandwidth-bound.
+        assert m.seconds(1_000_000, 32) == pytest.approx(8e-3)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            CPU_SOFTMAX.seconds(100, 0)
+
+
+class TestCalibration:
+    def test_blackscholes_heavier_than_sigmoid(self):
+        assert CPU_BLACKSCHOLES.sec_per_element_1t > \
+            5 * CPU_SIGMOID.sec_per_element_1t
+
+    def test_paper_scale_sanity(self):
+        # 10M options on 32 threads lands in the ~100ms regime of Figure 9.
+        t = CPU_BLACKSCHOLES.seconds(10_000_000, 32)
+        assert 0.02 < t < 1.0

@@ -1,0 +1,107 @@
+"""Tests for the logistic-regression inference workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter
+from repro.pim.system import PIMSystem
+from repro.workloads.logreg import (
+    VARIANTS,
+    LogisticRegression,
+    generate_dataset,
+    reference_probabilities,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(2000, n_features=16, seed=4)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PIMSystem()
+
+
+def _model(variant, dataset):
+    features, weights, bias = dataset
+    return LogisticRegression(variant).setup(weights, bias), features
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_probabilities(self, variant, dataset):
+        model, features = _model(variant, dataset)
+        probs = model.probabilities(features).astype(np.float64)
+        ref = reference_probabilities(features, dataset[1], dataset[2])
+        assert np.abs(probs - ref).max() < 2e-5, variant
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_kernel_matches_vectorized(self, variant, dataset):
+        model, features = _model(variant, dataset)
+        ctx = CycleCounter()
+        scalar = np.array(
+            [model.kernel(ctx, row) for row in features[:8]], dtype=np.float32
+        )
+        if variant == "host_sigmoid":
+            # The kernel returns logits; apply the host sigmoid.
+            scalar = (1.0 / (1.0 + np.exp(-scalar.astype(np.float64)))
+                      ).astype(np.float32)
+        np.testing.assert_allclose(
+            scalar, model.probabilities(features[:8]), atol=2e-6
+        )
+
+    def test_probabilities_in_unit_interval(self, dataset):
+        model, features = _model("llut_i", dataset)
+        probs = model.probabilities(features)
+        assert probs.min() >= 0 and probs.max() <= 1
+
+
+class TestTiming:
+    def test_sigmoid_share_reported(self, dataset, system):
+        model, features = _model("llut_i", dataset)
+        res = model.run(features, system)
+        assert 0.1 < res.sigmoid_share < 0.9
+        assert res.dot_slots > 0
+
+    def test_poly_sigmoid_dominates_kernel(self, dataset, system):
+        model, features = _model("poly", dataset)
+        res = model.run(features, system)
+        # Polynomial exp costs nearly as much as the 16-feature dot product.
+        assert res.sigmoid_share > 0.4
+
+    def test_pim_sigmoid_beats_host_roundtrip(self, dataset, system):
+        """The Figure 1(c)-vs-1(b) comparison the paper draws: computing the
+        sigmoid on the PIM core avoids a host round trip that costs more
+        than the on-core evaluation."""
+        pim, features = _model("llut_i", dataset)
+        host, _ = _model("host_sigmoid", dataset)
+        n = 30_000_000
+        t_pim = pim.run(features, system, virtual_n=n)
+        t_host = host.run(features, system, virtual_n=n)
+        assert t_host.host_roundtrip_seconds > 0
+        assert t_pim.total_seconds < t_host.total_seconds
+
+    def test_host_variant_kernel_cheaper(self, dataset, system):
+        pim, features = _model("llut_i", dataset)
+        host, _ = _model("host_sigmoid", dataset)
+        r_pim = pim.run(features, system)
+        r_host = host.run(features, system)
+        assert r_host.run.kernel_seconds < r_pim.run.kernel_seconds
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression("svm")
+
+    def test_wrong_weight_shape(self, dataset):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression("llut_i", n_features=8).setup(
+                np.zeros(16, dtype=np.float32), 0.0
+            )
+
+    def test_run_before_setup(self, dataset, system):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression("llut_i").run(dataset[0], system)

@@ -1,0 +1,114 @@
+"""Tests for the polynomial-approximation baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.isa.counter import CycleCounter
+from repro.workloads import polynomial as poly
+
+_F32 = np.float32
+
+
+class TestPolyExp:
+    def test_values(self, ctx):
+        for x in [-5.0, -0.5, 0.0, 0.3, 1.0, 8.0]:
+            assert float(poly.poly_exp(ctx, x)) == pytest.approx(
+                math.exp(x), rel=3e-6
+            ), x
+
+    def test_vec_matches_scalar(self, rng):
+        xs = rng.uniform(-10, 10, 128).astype(_F32)
+        out = poly.poly_exp_vec(xs)
+        ctx = CycleCounter()
+        for i in range(0, 128, 13):
+            assert out[i] == poly.poly_exp(ctx, xs[i])
+
+    def test_one_multiply_per_term(self, ctx):
+        poly.poly_exp(ctx, _F32(0.3))
+        # 10 Horner terms plus 2 from range reduction.
+        assert ctx.tally.count("fmul") == 12
+
+
+class TestPolyLog:
+    def test_values(self, ctx):
+        for x in [0.01, 0.5, 1.0, 2.718, 100.0]:
+            assert float(poly.poly_log(ctx, x)) == pytest.approx(
+                math.log(x), abs=3e-6
+            ), x
+
+    def test_vec_matches_scalar(self, rng):
+        xs = rng.uniform(0.01, 100, 128).astype(_F32)
+        out = poly.poly_log_vec(xs)
+        ctx = CycleCounter()
+        for i in range(0, 128, 13):
+            assert out[i] == poly.poly_log(ctx, xs[i])
+
+
+class TestPolySqrt:
+    def test_values(self, ctx):
+        for x in [0.01, 0.25, 1.0, 2.0, 99.0]:
+            assert float(poly.poly_sqrt(ctx, x)) == pytest.approx(
+                math.sqrt(x), rel=2e-7
+            ), x
+
+    def test_newton_uses_divides(self, ctx):
+        poly.poly_sqrt(ctx, _F32(2.0))
+        assert ctx.tally.count("fdiv") == 3
+
+    def test_vec_matches_scalar(self, rng):
+        xs = rng.uniform(0.01, 100, 128).astype(_F32)
+        out = poly.poly_sqrt_vec(xs)
+        ctx = CycleCounter()
+        for i in range(0, 128, 13):
+            assert out[i] == poly.poly_sqrt(ctx, xs[i])
+
+
+class TestPolyCndf:
+    def test_values(self, ctx):
+        from scipy.special import erf
+        for x in [-3.0, -1.0, 0.0, 0.5, 2.0, 4.0]:
+            expected = 0.5 * (1 + erf(x / math.sqrt(2)))
+            assert float(poly.poly_cndf(ctx, x)) == pytest.approx(
+                expected, abs=1e-6
+            ), x
+
+    def test_symmetry(self, ctx):
+        a = float(poly.poly_cndf(ctx, 1.3))
+        b = float(poly.poly_cndf(ctx, -1.3))
+        assert a + b == pytest.approx(1.0, abs=1e-6)
+
+    def test_vec_matches_scalar(self, rng):
+        xs = rng.uniform(-4, 4, 64).astype(_F32)
+        out = poly.poly_cndf_vec(xs)
+        ctx = CycleCounter()
+        for i in range(0, 64, 7):
+            assert out[i] == poly.poly_cndf(ctx, xs[i])
+
+
+class TestPolySigmoid:
+    def test_values(self, ctx):
+        for x in [-8.0, -1.0, 0.0, 1.0, 8.0]:
+            expected = 1.0 / (1.0 + math.exp(-x))
+            assert float(poly.poly_sigmoid(ctx, x)) == pytest.approx(
+                expected, abs=2e-7
+            ), x
+
+    def test_vec_matches_scalar(self, rng):
+        xs = rng.uniform(-16, 16, 64).astype(_F32)
+        out = poly.poly_sigmoid_vec(xs)
+        ctx = CycleCounter()
+        for i in range(0, 64, 7):
+            assert out[i] == poly.poly_sigmoid(ctx, xs[i])
+
+
+class TestCostStructure:
+    def test_poly_exp_much_costlier_than_llut(self, ctx):
+        """The premise of Figure 9's poly-vs-TransPimLib comparison."""
+        from repro.api import make_method
+        m = make_method("exp", "llut_i", density_log2=14,
+                        assume_in_range=False).setup()
+        lut_slots = m.element_tally(1.7).slots
+        poly.poly_exp(ctx, _F32(1.7))
+        assert ctx.slots > 2 * lut_slots

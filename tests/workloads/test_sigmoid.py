@@ -1,0 +1,82 @@
+"""Tests for the Sigmoid workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter
+from repro.pim.system import PIMSystem
+from repro.workloads.sigmoid import (
+    VARIANTS,
+    Sigmoid,
+    generate_inputs,
+    reference_sigmoid,
+)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return generate_inputs(4000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PIMSystem()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_values(self, variant, inputs):
+        sg = Sigmoid(variant).setup()
+        out = sg.values(inputs).astype(np.float64)
+        ref = reference_sigmoid(inputs)
+        assert np.abs(out - ref).max() < 5e-7, variant
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_output_in_unit_interval(self, variant, inputs):
+        sg = Sigmoid(variant).setup()
+        out = sg.values(inputs)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_kernel_matches_vectorized(self, variant, inputs):
+        sg = Sigmoid(variant).setup()
+        ctx = CycleCounter()
+        sample = inputs[:24]
+        scalar = np.array([sg.kernel(ctx, float(x)) for x in sample],
+                          dtype=np.float32)
+        np.testing.assert_array_equal(scalar, sg.values(sample))
+
+    def test_extreme_inputs(self):
+        sg = Sigmoid("llut_i").setup()
+        ctx = CycleCounter()
+        assert float(sg.kernel(ctx, 30.0)) == pytest.approx(1.0, abs=1e-6)
+        assert float(sg.kernel(ctx, -30.0)) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestTiming:
+    def test_variant_ordering(self, inputs, system):
+        # Size the run like the paper's 30M elements so compute dominates
+        # the fixed launch/transfer costs.
+        times = {
+            v: Sigmoid(v).setup().run(inputs, system,
+                                      virtual_n=30_000_000).total_seconds
+            for v in ("poly", "mlut_i", "llut_i", "direct_llut_i")
+        }
+        assert times["poly"] > 1.5 * times["llut_i"]   # 50-75% in the paper
+        assert times["mlut_i"] > times["llut_i"]
+        assert times["direct_llut_i"] < times["llut_i"]  # our extension
+
+    def test_table_bytes(self):
+        assert Sigmoid("poly").setup().table_bytes() == 0
+        assert Sigmoid("llut_i").setup().table_bytes() > 0
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            Sigmoid("spline")
+
+    def test_run_before_setup(self, inputs, system):
+        with pytest.raises(ConfigurationError):
+            Sigmoid("llut_i").run(inputs, system)

@@ -1,0 +1,96 @@
+"""Tests for the Softmax workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pim.system import PIMSystem
+from repro.workloads.softmax import (
+    VARIANTS,
+    Softmax,
+    generate_inputs,
+    reference_softmax,
+)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return generate_inputs(4000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PIMSystem()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_values_close_to_reference(self, variant, inputs):
+        sm = Softmax(variant).setup()
+        out = sm.values(inputs).astype(np.float64)
+        ref = reference_softmax(inputs)
+        # Relative to the largest probability.
+        assert np.abs(out - ref).max() / ref.max() < 1e-3, variant
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_sums_to_one(self, variant, inputs):
+        sm = Softmax(variant).setup()
+        out = sm.values(inputs).astype(np.float64)
+        assert out.sum() == pytest.approx(1.0, abs=1e-3)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_non_negative(self, variant, inputs):
+        sm = Softmax(variant).setup()
+        assert sm.values(inputs).min() >= 0.0
+
+    def test_monotone_in_input(self, inputs):
+        sm = Softmax("llut_i").setup()
+        out = sm.values(inputs)
+        order_in = np.argsort(inputs[:100])
+        order_out = np.argsort(out[:100])
+        np.testing.assert_array_equal(order_in, order_out)
+
+    def test_invariant_to_shift(self):
+        # softmax(x + c) == softmax(x): the max subtraction guarantees it.
+        sm = Softmax("llut_i").setup()
+        x = generate_inputs(1000, seed=9)
+        a = sm.values(x)
+        b = sm.values((x + np.float32(3.0)).astype(np.float32))
+        np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-12)
+
+
+class TestTiming:
+    def test_three_phases_reported(self, inputs, system):
+        res = Softmax("llut_i").setup().run(inputs, system)
+        assert res.max_phase.total_seconds > 0
+        assert res.exp_phase.total_seconds > 0
+        assert res.scale_phase.total_seconds > 0
+        assert res.total_seconds > res.exp_phase.total_seconds
+
+    def test_exp_phase_dominates(self, inputs, system):
+        res = Softmax("llut_i").setup().run(inputs, system)
+        assert res.exp_phase.kernel_seconds > res.max_phase.kernel_seconds
+        assert res.exp_phase.kernel_seconds > res.scale_phase.kernel_seconds
+
+    def test_exp_phase_has_no_transfers(self, inputs, system):
+        res = Softmax("llut_i").setup().run(inputs, system)
+        assert res.exp_phase.host_to_pim_seconds == 0
+
+    def test_variant_ordering(self, inputs, system):
+        times = {
+            v: Softmax(v).setup().run(inputs, system,
+                                      virtual_n=30_000_000).total_seconds
+            for v in ("poly", "llut_i", "direct_llut_i")
+        }
+        assert times["poly"] > 1.5 * times["llut_i"]
+        assert times["direct_llut_i"] < times["llut_i"]
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            Softmax("gumbel")
+
+    def test_run_before_setup(self, inputs, system):
+        with pytest.raises(ConfigurationError):
+            Softmax("llut_i").run(inputs, system)
