@@ -7,7 +7,6 @@ same (or better) accuracy at a fraction of the cycles, repositioning CORDIC
 on the Figure 5 tradeoff map.
 """
 
-import numpy as np
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import default_inputs, sweep_method

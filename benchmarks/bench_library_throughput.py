@@ -5,7 +5,6 @@ traced-cost measurement — so regressions in the reproduction's own code show
 up as benchmark regressions.
 """
 
-import numpy as np
 import pytest
 
 from repro.api import make_method

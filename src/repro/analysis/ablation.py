@@ -15,7 +15,6 @@ choices (DESIGN.md Section 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

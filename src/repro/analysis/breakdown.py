@@ -9,7 +9,7 @@ determines the cycle count", Section 4.2.1) directly inspectable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ CORDIC's climb, the crossovers) at a glance, without plotting libraries.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 

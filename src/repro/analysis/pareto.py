@@ -9,7 +9,6 @@ populate the frontier at which accuracy regimes, quantifying Key Takeaways
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.report import format_table

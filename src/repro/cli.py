@@ -11,6 +11,7 @@ Usage::
     python -m repro explore FUNCTION
     python -m repro recommend FUNCTION [--rmse 1e-6] [--evals N] [--memory B]
     python -m repro breakdown FUNCTION METHOD [knob=value ...]
+    python -m repro lint [--json] [--strict] [--passes ast,contracts]
 """
 
 from __future__ import annotations
@@ -153,6 +154,27 @@ def _cmd_listing(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.lint import ALL_PASSES, run_lint
+
+    passes = tuple(p.strip() for p in args.passes.split(",") if p.strip()) \
+        if args.passes else ALL_PASSES
+    try:
+        report = run_lint(passes=passes,
+                          extra_modules=tuple(args.extra_module))
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.to_text())
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_breakdown(args) -> int:
     from repro.analysis.breakdown import breakdown_report
     from repro.api import make_method
@@ -221,6 +243,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=16)
     p.add_argument("knobs", nargs="*", help="precision knobs")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("lint",
+                       help="statically verify kernel cost contracts")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.add_argument("--passes", default="",
+                   help="comma-separated subset of passes "
+                        "(ast,contracts,intervals,memory)")
+    p.add_argument("--extra-module", action="append", default=[],
+                   metavar="MODULE",
+                   help="also lint kernels in this importable module "
+                        "(repeatable)")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("listing",
                        help="pseudo-assembly listing of one evaluation")

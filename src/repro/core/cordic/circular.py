@@ -111,7 +111,7 @@ class CordicCircular(Method):
         if self.spec.name == "cos":
             return (c, ctx.fneg(s), ctx.fneg(c), s)[quad]
         # tan: even quadrants give s/c, odd quadrants give -c/s.
-        if quad & 1:
+        if quad & 1:  # lint: allow(quadrant parity bit; the dispatch branch above is charged)
             return ctx.fdiv(ctx.fneg(c), s)
         return ctx.fdiv(s, c)
 

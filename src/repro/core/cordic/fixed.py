@@ -38,7 +38,7 @@ _FRAC = CIRCULAR_ANGLE_FRAC_BITS
 VECTOR_FRAC = 30
 
 
-def _rshift_round(ctx: CycleCounter, v: int, i: int) -> int:
+def _rshift_round(ctx: CycleCounter, v: int, i: int) -> int:  # lint: const(i)
     """Rounding arithmetic right shift: two native instructions."""
     if i == 0:
         return v

@@ -10,7 +10,6 @@ hence no float divide — is ever needed.  Only odd symmetry is applied.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 

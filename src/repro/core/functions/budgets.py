@@ -1,0 +1,189 @@
+"""Per-method op budgets: the paper's Table 1 as machine-checked contracts.
+
+Section 2.2 / Table 1 of the paper characterizes each method by how many of
+the *expensive* operations one evaluation may issue: softfloat multiplies
+and divides, emulated integer multiplies/divides, the bit-manipulation
+``ldexp``, and table loads.  This module encodes those claims per method —
+M-LUT spends exactly one fp multiply, L-LUT zero (address generation via
+``ldexp``), interpolation adds exactly one multiply and one extra load,
+CORDIC trades them all for ``2*iterations`` ldexps — so the lint's contract
+pass can diff a traced :class:`~repro.isa.counter.Tally` against them.
+
+A budget maps each category of :data:`repro.isa.opcosts.OP_CATEGORY` to an
+inclusive ``(lo, hi)`` range.  Most methods are exact (``lo == hi``); the
+hyperbolic sinh/cosh/tanh budgets are ranges because the kernel branches
+between the rotation core and the exp-identity fallback at
+``ROTATION_BOUND``, and both sides of the branch must stay inside the
+declared envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa.opcosts import OP_CATEGORY
+
+__all__ = ["CATEGORIES", "Budget", "budget_for", "tally_categories"]
+
+CATEGORIES = ("fp_mul", "fp_div", "int_mul", "int_div", "ldexp", "loads")
+
+Budget = Dict[str, Tuple[int, int]]
+
+
+def tally_categories(counts: Dict[str, int]) -> Dict[str, int]:
+    """Fold raw ``Tally.counts`` into the contract categories."""
+    out = {c: 0 for c in CATEGORIES}
+    for op, n in counts.items():
+        cat = OP_CATEGORY.get(op)
+        if cat is not None:
+            out[cat] += n
+    return out
+
+
+def _budget(**kw) -> Budget:
+    """Build a budget; int values mean exact, tuples mean (lo, hi)."""
+    out: Budget = {c: (0, 0) for c in CATEGORIES}
+    for cat, v in kw.items():
+        if cat not in out:
+            raise KeyError(f"unknown budget category {cat!r}")
+        out[cat] = (v, v) if isinstance(v, int) else (int(v[0]), int(v[1]))
+    return out
+
+
+def _add(a: Budget, b: Budget) -> Budget:
+    return {c: (a[c][0] + b[c][0], a[c][1] + b[c][1]) for c in CATEGORIES}
+
+
+# ----------------------------------------------------------------------
+# Table 1 rows (single-table LUT methods): fixed costs per evaluation.
+
+def _lut_budget(m) -> Optional[Budget]:
+    name = m.method_name
+    if name == "mlut":
+        # M-LUT: one fp multiply for index scaling, one load.
+        return _budget(fp_mul=1, loads=1)
+    if name == "mlut_i":
+        # Interpolation adds exactly one multiply and one load.
+        return _budget(fp_mul=2, loads=2)
+    if name == "llut":
+        # L-LUT: zero multiplies.  With the magic-number trick even the
+        # ldexp disappears; otherwise address generation costs one ldexp.
+        if getattr(m.geom, "magic_ok", False):
+            return _budget(loads=1)
+        return _budget(ldexp=1, loads=1)
+    if name == "llut_i":
+        return _budget(fp_mul=1, ldexp=1, loads=2)
+    if name == "llut_fx":
+        # Fixed-point L-LUT: pure integer add/shift addressing.
+        return _budget(loads=1)
+    if name == "llut_i_fx":
+        # The interpolation multiply becomes one wide integer multiply.
+        return _budget(int_mul=1, loads=2)
+    if name == "slut_i":
+        # Segmented: one descriptor load + two value loads.
+        return _budget(fp_mul=1, ldexp=1, loads=3)
+    if name == "dlut":
+        return _budget(loads=1)
+    if name == "dlut_i":
+        return _budget(fp_mul=1, ldexp=1, loads=2)
+    if name == "dllut":
+        # Both dispatch targets (low L-LUT, high D-LUT) cost one load.
+        return _budget(loads=1)
+    if name == "dllut_i":
+        return _budget(fp_mul=1, ldexp=1, loads=2)
+    return None
+
+
+# ----------------------------------------------------------------------
+# CORDIC families: budgets scale with the iteration count.
+
+def _cordic_budget(m) -> Optional[Budget]:
+    from repro.core.cordic.circular import CordicCircular
+    from repro.core.cordic.fixed import CordicCircularFixed
+    from repro.core.cordic.hyperbolic import CordicHyperbolic
+    from repro.core.cordic.vectoring import CordicArctan
+    from repro.core.hybrid import HybridCircular, HybridHyperbolic
+
+    it = getattr(m, "iterations", 0)
+
+    if isinstance(m, CordicCircularFixed):
+        # All-integer rotation: one fx quadrant multiply, shift/add steps.
+        return _budget(int_mul=1, loads=it)
+
+    if isinstance(m, HybridCircular):
+        # The table resolves the first lut_bits iterations; the quadrant
+        # split still costs one fx multiply, the vector load two reads.
+        rest = it - m.lut_bits
+        b = _budget(int_mul=1, ldexp=2 * rest, loads=2 + rest)
+        if m.spec.name == "tan":
+            b = _add(b, _budget(fp_div=1))
+        return b
+
+    if isinstance(m, HybridHyperbolic):
+        steps = len(m._schedule)
+        b = _budget(ldexp=2 * steps, loads=2 + steps)
+        if m.spec.name in ("sinh", "cosh"):
+            # Large |u| falls back to the exp identity: the split reducer
+            # multiplies twice, reconstruction and halving each ldexp once,
+            # and the reciprocal costs one divide.
+            return _add(b, _budget(fp_mul=(0, 2), fp_div=(0, 1),
+                                   ldexp=(0, 2)))
+        if m.spec.name == "tanh":
+            return _add(b, _budget(fp_mul=(0, 2), fp_div=1, ldexp=(0, 2)))
+        return b  # exp
+
+    if isinstance(m, CordicArctan):
+        # Vectoring mode: atan with *zero* multiplies or divides — the
+        # final quarter-turn-to-radians scale is one fx multiply.
+        return _budget(int_mul=1, ldexp=2 * it, loads=it)
+
+    if isinstance(m, CordicCircular):
+        b = _budget(int_mul=1, ldexp=2 * it, loads=it)
+        if m.spec.name == "tan":
+            b = _add(b, _budget(fp_div=1))
+        return b
+
+    if isinstance(m, CordicHyperbolic):
+        steps = len(m._schedule)
+        b = _budget(ldexp=2 * steps, loads=steps)
+        name = m.spec.name
+        if name in ("log2", "log10", "sqrt"):
+            return _add(b, _budget(fp_mul=1))
+        if name in ("sinh", "cosh"):
+            return _add(b, _budget(fp_mul=(0, 2), fp_div=(0, 1),
+                                   ldexp=(0, 2)))
+        if name == "tanh":
+            return _add(b, _budget(fp_mul=(0, 2), fp_div=1, ldexp=(0, 2)))
+        return b  # exp, log
+
+    return None
+
+
+def budget_for(m) -> Optional[Budget]:
+    """The declared op budget for a configured method instance.
+
+    Covers the core evaluation path (``assume_in_range=True``, the identity
+    reducer) — range reduction costs are characterized separately in
+    Figure 8.  Returns ``None`` for methods without a declared contract.
+    """
+    from repro.core.lut.tan import TanQuotientLUT
+    from repro.core.polymethod import MinimaxPolyMethod
+
+    if isinstance(m, TanQuotientLUT):
+        inner_sin = budget_for(m.sin_m)
+        inner_cos = budget_for(m.cos_m)
+        if inner_sin is None or inner_cos is None:
+            return None
+        # tan = sin/cos: both inner evaluations plus the one divide that
+        # makes tangent cost 2-3x a sine (Section 4.2.4).
+        return _add(_add(inner_sin, inner_cos), _budget(fp_div=1))
+
+    if isinstance(m, MinimaxPolyMethod):
+        # "One floating-point multiplication per bit of precision": degree
+        # Horner steps plus the interval-normalization multiply.
+        return _budget(fp_mul=m.degree + 1)
+
+    b = _cordic_budget(m)
+    if b is not None:
+        return b
+    return _lut_budget(m)

@@ -25,7 +25,6 @@ try:  # scipy is available in the evaluation environment; keep a fallback.
     from scipy.special import erf as _erf_impl
 except ImportError:  # pragma: no cover - exercised only without scipy
     _erf_impl = np.vectorize(math.erf)
-_erf = lambda x: _erf_impl(x)  # noqa: E731 - rebound below as a spec reference
 
 __all__ = [
     "FunctionSpec",
@@ -36,6 +35,11 @@ __all__ = [
 ]
 
 TWO_PI = 2.0 * math.pi
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Gauss error function."""
+    return np.asarray(_erf_impl(np.asarray(x, dtype=np.float64)))
 
 
 def _gelu(x: np.ndarray) -> np.ndarray:
@@ -54,11 +58,6 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     """Logistic sigmoid ``1 / (1 + exp(-x))``."""
     x = np.asarray(x, dtype=np.float64)
     return 1.0 / (1.0 + np.exp(-x))
-
-
-def _erf(x_arr: np.ndarray) -> np.ndarray:
-    """Gauss error function."""
-    return np.asarray(_erf_impl(np.asarray(x_arr, dtype=np.float64)))
 
 
 def _softplus(x: np.ndarray) -> np.ndarray:

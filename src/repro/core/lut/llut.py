@@ -102,8 +102,8 @@ class LLUT(FuzzyLUT):
         if g.magic_ok:
             t = ctx.fadd(u, g.c)
             bits = ctx.bitcast_f2i(t)
-            if bits & 0x80000000:
-                bits -= 1 << 32  # signed view: negative sums order below
+            if bits & 0x80000000:  # lint: allow(signed view of the register, free)
+                bits -= 1 << 32  # lint: allow(signed view, free on hardware)
             if ctx.icmp(bits, g.lo_bits) < 0:      # u below p: binade drop
                 ctx.branch()
                 bits = g.lo_bits
@@ -165,8 +165,8 @@ class LLUTInterpolated(FuzzyLUT):
         if g.magic_ok:
             t = ctx.fadd(u, g.c)
             bits = ctx.bitcast_f2i(t)
-            if bits & 0x80000000:
-                bits -= 1 << 32  # signed view: negative sums order below
+            if bits & 0x80000000:  # lint: allow(signed view of the register, free)
+                bits -= 1 << 32  # lint: allow(signed view, free on hardware)
             if ctx.icmp(bits, g.lo_bits) < 0:      # u below p: binade drop
                 ctx.branch()
                 bits = g.lo_bits
@@ -296,9 +296,15 @@ class LLUTFixed(FuzzyLUT):
         """
         g = self.geom
         r = ctx.isub(a, g.p_raw) if g.p_raw else a
-        half = 1 << (g.shift - 1) if g.shift > 0 else 0
-        b = ctx.iadd(r, half)
-        idx = ctx.shr(b, g.shift)
+        if g.shift == 0:
+            idx = r
+        else:
+            # Round half up as floor-shift + dropped half bit.  The naive
+            # `(r + half) >> shift` carry can wrap the 32-bit word when the
+            # domain ends at the format limit (tanh/gelu at 8.0).
+            idx = ctx.shr(r, g.shift)
+            half_bit = ctx.iand(ctx.shr(r, g.shift - 1), 1)
+            idx = ctx.iadd(idx, half_bit)
         idx = self._clamp_index(ctx, idx, self.entries - 1)
         return int(self._load(ctx, self._table, idx))
 
@@ -311,8 +317,10 @@ class LLUTFixed(FuzzyLUT):
         """Vectorized twin of :meth:`core_eval_raw`."""
         g = self.geom
         r = np.asarray(a, dtype=np.int64) - g.p_raw
-        half = 1 << (g.shift - 1) if g.shift > 0 else 0
-        idx = (r + half) >> g.shift
+        if g.shift == 0:
+            idx = r
+        else:
+            idx = (r >> g.shift) + ((r >> (g.shift - 1)) & 1)
         idx = np.clip(idx, 0, self.entries - 1)
         return self._table[idx].astype(np.int64)
 

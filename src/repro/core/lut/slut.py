@@ -151,8 +151,8 @@ class SegmentedLLUT(FuzzyLUT):
         # First level: segment index, exactly like an L-LUT address.
         t = ctx.fadd(u, self._seg_magic)
         bits = ctx.bitcast_f2i(t)
-        if bits & 0x80000000:
-            bits -= 1 << 32
+        if bits & 0x80000000:  # lint: allow(signed view of the register, free)
+            bits -= 1 << 32  # lint: allow(signed view of the bit pattern, free on hardware)
         seg = ctx.iand(bits, _MASK22)
         # The magic add rounds to nearest; segment selection needs floor.
         grid1 = ctx.fsub(t, self._seg_magic)
@@ -180,7 +180,7 @@ class SegmentedLLUT(FuzzyLUT):
             ctx.branch()
             idx = ctx.isub(idx, 1)
             delta = ctx.fadd(delta, _F32(1.0))
-        idx = self._clamp_index(ctx, idx, count - 2)
+        idx = self._clamp_index(ctx, idx, count - 2)  # lint: allow(descriptor stores count-2)
         base = ctx.iadd(offset, idx)
         l0 = self._load(ctx, self._table, base)
         l1 = self._load(ctx, self._table, ctx.iadd(base, 1))

@@ -9,7 +9,7 @@ divide, the single most expensive softfloat operation.
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Type
 
 import numpy as np
 

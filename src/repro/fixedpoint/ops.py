@@ -14,8 +14,6 @@ with 32-bit DPU arithmetic.
 
 from __future__ import annotations
 
-from typing import Union
-
 import numpy as np
 
 from repro.fixedpoint.qformat import QFormat
@@ -74,14 +72,15 @@ def fx_div(ctx: CycleCounter, fmt: QFormat, a: int, b: int) -> int:
     return fmt.wrap(ctx.idiv64(wide, b))
 
 
-def fx_shift(ctx: CycleCounter, fmt: QFormat, a: int, n: int) -> int:
+def fx_shift(ctx: CycleCounter, fmt: QFormat, a: int, n: int) -> int:  # lint: const(n)
     """Multiply/divide by ``2**n`` via a single shift (n may be negative)."""
     if n >= 0:
         return fmt.wrap(ctx.shl(a, n))
     return fmt.wrap(ctx.shr(a, -n))
 
 
-def fx_round_index(ctx: CycleCounter, fmt: QFormat, a: int, index_shift: int) -> int:
+def fx_round_index(ctx: CycleCounter, fmt: QFormat, a: int,
+                   index_shift: int) -> int:  # lint: const(index_shift)
     """Round a fixed-point word to an integer index: ``round(a * 2**-shift)``.
 
     Used by fixed-point L-LUT address generation: add half an LSB of the
@@ -92,7 +91,8 @@ def fx_round_index(ctx: CycleCounter, fmt: QFormat, a: int, index_shift: int) ->
     return ctx.shr(biased, index_shift)
 
 
-def fx_frac(ctx: CycleCounter, fmt: QFormat, a: int, index_shift: int) -> int:
+def fx_frac(ctx: CycleCounter, fmt: QFormat, a: int,
+            index_shift: int) -> int:  # lint: const(index_shift)
     """Extract the sub-index fraction bits of ``a`` below ``index_shift``.
 
     Returns a raw word still scaled by ``2**frac_bits`` after renormalization,

@@ -34,7 +34,24 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["OpCosts", "UPMEM_COSTS", "IDEALIZED_COSTS"]
+__all__ = ["OpCosts", "UPMEM_COSTS", "IDEALIZED_COSTS", "OP_CATEGORY"]
+
+#: Contract categories for the paper's Table 1 op budgets.  Maps counted-op
+#: names (the keys of :attr:`repro.isa.counter.Tally.counts`) to the budget
+#: category they charge in :mod:`repro.core.functions.budgets`; ops absent
+#: here (adds, shifts, compares, conversions, branches) are uncontracted —
+#: the paper's claims are about multiplies, divides, ldexp and table loads.
+OP_CATEGORY = {
+    "fmul": "fp_mul",
+    "fdiv": "fp_div",
+    "imul": "int_mul",
+    "imul64": "int_mul",
+    "idiv": "int_div",
+    "idiv64": "int_div",
+    "ldexp": "ldexp",
+    "wram_read": "loads",
+    "mram_read": "loads",
+}
 
 
 @dataclass(frozen=True)

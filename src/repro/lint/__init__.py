@@ -1,0 +1,59 @@
+"""Static kernel verifier for the paper's cost contracts (``repro lint``).
+
+Every cycle number this reproduction reports assumes that kernels route all
+arithmetic through the :class:`~repro.isa.counter.CycleCounter` ISA — one raw
+``x * y`` in a kernel body is a free, uncounted softfloat multiply that
+silently corrupts the Figure 5 model.  The paper's central claims are
+themselves op-count contracts (M-LUT = 1 fp multiply, L-LUT = 0 via ``ldexp``,
+interpolation adds exactly one — Section 2.2, Table 1), so this package
+machine-checks them with four passes:
+
+``ast``
+    Walks every kernel function body (any ``def`` with a ``ctx`` parameter
+    under ``repro.core``, ``repro.fixedpoint`` and ``repro.workloads``) and
+    flags arithmetic on traced values that bypasses the ISA.
+``contracts``
+    Declares per-method op budgets (:mod:`repro.core.functions.budgets`) and
+    verifies them by tracing each (method, function) pair and diffing the
+    :class:`~repro.isa.counter.Tally` counts against the budget.
+``intervals``
+    An interval abstract interpreter for the s3.28 fixed-point kernels:
+    propagates value ranges over each function's declared input domain and
+    reports potential overflow / precision loss.
+``memory``
+    Sizes every method's tables against the
+    :class:`~repro.pim.config.DPUConfig` WRAM/MRAM capacities.
+"""
+
+from repro.lint.astlint import lint_kernel, run_ast_lint
+from repro.lint.contracts import check_contract, run_contracts
+from repro.lint.intervals import (
+    Interval,
+    check_method_intervals,
+    fx_mul_interval,
+    run_intervals,
+)
+from repro.lint.kernels import KernelDef, iter_kernel_defs, iter_method_instances
+from repro.lint.membudget import check_method_memory, run_memory
+from repro.lint.report import LintReport, Violation
+from repro.lint.runner import ALL_PASSES, run_lint
+
+__all__ = [
+    "ALL_PASSES",
+    "Interval",
+    "KernelDef",
+    "LintReport",
+    "Violation",
+    "check_contract",
+    "check_method_intervals",
+    "check_method_memory",
+    "fx_mul_interval",
+    "iter_kernel_defs",
+    "iter_method_instances",
+    "lint_kernel",
+    "run_ast_lint",
+    "run_contracts",
+    "run_intervals",
+    "run_lint",
+    "run_memory",
+]

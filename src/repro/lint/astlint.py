@@ -1,0 +1,363 @@
+"""AST pass: flag arithmetic on traced values that bypasses the ISA.
+
+The analysis is a flow-insensitive taint propagation over each kernel body.
+*Tainted* names hold traced values — results of ``ctx.*`` ISA calls, kernel
+parameters (unless declared ``# lint: const(...)``), and anything derived
+from them.  Python-level arithmetic (``BinOp``/``AugAssign``/unary
+``-``/``~``), comparisons, and direct ``math.*``/``np.*`` calls on tainted
+values are uncounted on the simulated DPU and get flagged.
+
+Deliberately *not* flagged, matching the codebase's charging conventions:
+
+- truthiness tests (``if flag:``) — branches are charged via explicit
+  ``ctx.branch()`` calls at the taken-branch site;
+- comparisons against results of ``ctx.icmp``/``ctx.fcmp`` — those results
+  are condition-code flags, and the Python-level ``< 0`` merely decodes the
+  flag the hardware compare already set;
+- ``is``/``is not`` — host-level identity, no data computation;
+- subscripts, slices and tuple packing — address selection is charged by the
+  explicit ``wram_read``/``mram_read`` at the load site;
+- calls that receive ``ctx`` — the callee is a kernel and is linted
+  separately.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.kernels import DEFAULT_PACKAGES, KernelDef, iter_kernel_defs
+from repro.lint.report import Violation
+
+__all__ = ["lint_kernel", "run_ast_lint"]
+
+#: Parameters never considered traced values.
+_UNTAINTED_PARAMS = {"self", "cls", "ctx", "fmt"}
+
+#: ``ctx`` methods whose result is a condition-code flag, not a data word.
+_FLAG_RESULTS = {"icmp", "fcmp"}
+
+#: Builtins/casts that pass taint through without computing.
+_TRANSPARENT_CALLS = {"int", "float", "bool", "_F32", "_F64"}
+
+#: Module aliases whose attribute calls are host math, forbidden in kernels.
+_MATH_MODULES = {"math", "np", "numpy"}
+
+#: Attribute calls on math modules that are pure type casts, hence allowed.
+_CAST_ATTRS = {"float32", "float64", "int32", "int64", "uint32", "asarray"}
+
+_BINOP_NAMES = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**", ast.LShift: "<<",
+    ast.RShift: ">>", ast.BitOr: "|", ast.BitXor: "^", ast.BitAnd: "&",
+    ast.MatMult: "@",
+}
+_UNARY_NAMES = {ast.USub: "-", ast.UAdd: "+", ast.Invert: "~"}
+
+
+class _KernelLinter:
+    """Taint analysis over one kernel body."""
+
+    def __init__(self, kernel: KernelDef):
+        self.kernel = kernel
+        self.tainted: Set[str] = set()
+        self.collect = False
+        self.violations: List[Violation] = []
+        self._reported: Set[Tuple[int, int, str]] = set()
+
+        const = set(kernel.const_params())
+        node = kernel.node
+        args = node.args
+        params = [a.arg for a in getattr(args, "posonlyargs", [])]
+        params += [a.arg for a in args.args] + [a.arg for a in args.kwonlyargs]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        for p in params:
+            if p not in _UNTAINTED_PARAMS and p not in const:
+                self.tainted.add(p)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[Violation]:
+        # Fixpoint: taint only grows, so iterate to stability, then do one
+        # reporting pass.  Bounded for safety; real kernels settle in 2-3.
+        for _ in range(16):
+            before = len(self.tainted)
+            self._exec_block(self.kernel.node.body)
+            if len(self.tainted) == before:
+                break
+        self.collect = True
+        self._exec_block(self.kernel.node.body)
+        return self.violations
+
+    def _violate(self, node: ast.AST, rule: str, message: str) -> None:
+        if not self.collect:
+            return
+        lineno = getattr(node, "lineno", self.kernel.line)
+        if self.kernel.allowed(lineno):
+            return
+        key = (lineno, getattr(node, "col_offset", 0), rule)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.violations.append(Violation(
+            pass_name="ast", rule=rule, severity="error", message=message,
+            file=self.kernel.file, line=lineno, where=self.kernel.qualname,
+        ))
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            vt = self._eval(stmt.value)
+            tt = (isinstance(stmt.target, ast.Name)
+                  and stmt.target.id in self.tainted) or \
+                 (not isinstance(stmt.target, ast.Name)
+                  and self._eval(stmt.target))
+            if vt or tt:
+                op = _BINOP_NAMES.get(type(stmt.op), "?")
+                self._violate(
+                    stmt, "uncounted-op",
+                    f"augmented '{op}=' on a traced value bypasses the "
+                    f"CycleCounter ISA",
+                )
+            if isinstance(stmt.target, ast.Name):
+                self.tainted.add(stmt.target.id)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            it = self._eval(stmt.iter)
+            if it:
+                self._taint_target(stmt.target)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        # Nested defs/classes, pass, break, continue: nothing to do — nested
+        # defs with a ctx parameter are discovered and linted independently.
+
+    def _assign(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        # Elementwise tuple-to-tuple assignment keeps taint precise for the
+        # pervasive `a, b = ctx.op(...), host_const` idiom.
+        if (len(targets) == 1 and isinstance(targets[0], (ast.Tuple, ast.List))
+                and isinstance(value, (ast.Tuple, ast.List))
+                and len(targets[0].elts) == len(value.elts)):
+            for tgt, val in zip(targets[0].elts, value.elts):
+                t = self._eval(val)
+                if t:
+                    self._taint_target(tgt)
+            return
+        taint = self._eval(value)
+        if taint:
+            for tgt in targets:
+                self._taint_target(tgt)
+
+    def _taint_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._taint_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value)
+        # Subscript/attribute targets don't bind local names.
+
+    # ------------------------------------------------------------------
+    # expressions: returns True when the value is traced (tainted)
+
+    def _eval(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Constant):
+            return False
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, ast.BinOp):
+            lt = self._eval(node.left)
+            rt = self._eval(node.right)
+            if lt or rt:
+                op = _BINOP_NAMES.get(type(node.op), "?")
+                self._violate(
+                    node, "uncounted-op",
+                    f"'{op}' on a traced value bypasses the CycleCounter ISA",
+                )
+            return lt or rt
+        if isinstance(node, ast.UnaryOp):
+            t = self._eval(node.operand)
+            if isinstance(node.op, (ast.USub, ast.UAdd, ast.Invert)):
+                if t:
+                    op = _UNARY_NAMES[type(node.op)]
+                    self._violate(
+                        node, "uncounted-op",
+                        f"unary '{op}' on a traced value bypasses the "
+                        f"CycleCounter ISA",
+                    )
+                return t
+            return False  # `not` yields a host bool
+        if isinstance(node, ast.BoolOp):
+            return any([self._eval(v) for v in node.values])
+        if isinstance(node, ast.Compare):
+            taints = [self._eval(node.left)]
+            taints += [self._eval(c) for c in node.comparators]
+            identity_only = all(isinstance(op, (ast.Is, ast.IsNot))
+                                for op in node.ops)
+            if any(taints) and not identity_only \
+                    and not self._is_flag_compare(node):
+                self._violate(
+                    node, "uncounted-compare",
+                    "comparison on a traced value bypasses ctx.icmp/ctx.fcmp",
+                )
+            return False  # compare results are host flags
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            bt = self._eval(node.body)
+            ot = self._eval(node.orelse)
+            return bt or ot
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any([self._eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            taint = False
+            for k in node.keys:
+                if k is not None:
+                    taint = self._eval(k) or taint
+            for v in node.values:
+                taint = self._eval(v) or taint
+            return taint
+        if isinstance(node, ast.Subscript):
+            vt = self._eval(node.value)
+            st = self._eval_slice(node.slice)
+            return vt or st
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            taint = False
+            for gen in node.generators:
+                if self._eval(gen.iter):
+                    self._taint_target(gen.target)
+                    taint = True
+                for cond in gen.ifs:
+                    self._eval(cond)
+            return self._eval(node.elt) or taint
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self._eval(v.value)
+            return False
+        if isinstance(node, ast.Lambda):
+            return False  # host-side closure; called kernels lint separately
+        if isinstance(node, ast.Slice):
+            return self._eval_slice(node)
+        return False
+
+    def _eval_slice(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Slice):
+            taint = False
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    taint = self._eval(part) or taint
+            return taint
+        return self._eval(node)
+
+    def _is_flag_compare(self, node: ast.Compare) -> bool:
+        """True for ``ctx.icmp(a, b) < 0``-style flag decodes."""
+        def is_flag(e: ast.expr) -> bool:
+            return (isinstance(e, ast.Call)
+                    and isinstance(e.func, ast.Attribute)
+                    and isinstance(e.func.value, ast.Name)
+                    and e.func.value.id == "ctx"
+                    and e.func.attr in _FLAG_RESULTS)
+        return is_flag(node.left) or any(is_flag(c) for c in node.comparators)
+
+    def _eval_call(self, node: ast.Call) -> bool:
+        args_taint = any([self._eval(a) for a in node.args])
+        args_taint = any([self._eval(kw.value) for kw in node.keywords]) \
+            or args_taint
+        func = node.func
+
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base == "ctx":
+                # ISA call: the counted path.  Flag results are host bools.
+                return attr not in _FLAG_RESULTS
+            if base in _MATH_MODULES and base not in self.tainted:
+                if attr not in _CAST_ATTRS:
+                    self._violate(
+                        node, "uncounted-call",
+                        f"direct {base}.{attr}() call inside a kernel is "
+                        f"uncounted host math",
+                    )
+                    return True
+                return args_taint
+            if attr == "append":
+                # X.append(traced) taints the container.
+                if args_taint:
+                    self.tainted.add(base)
+                return False
+
+        if isinstance(func, ast.Name) and func.id in _TRANSPARENT_CALLS:
+            return args_taint
+
+        if not isinstance(func, (ast.Name, ast.Attribute)):
+            self._eval(func)
+        elif isinstance(func, ast.Attribute):
+            self._eval(func.value)
+
+        # A callee that receives ctx is itself a traced kernel: its result
+        # is traced, and it is linted separately.
+        passes_ctx = any(isinstance(a, ast.Name) and a.id == "ctx"
+                         for a in node.args)
+        return args_taint or passes_ctx
+
+
+def lint_kernel(kernel: KernelDef) -> List[Violation]:
+    """Run the taint analysis over one kernel definition."""
+    return _KernelLinter(kernel).run()
+
+
+def run_ast_lint(
+    packages: Sequence[str] = DEFAULT_PACKAGES,
+    extra_modules: Sequence[str] = (),
+    kernels: Iterable[KernelDef] = None,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Lint every discovered kernel; returns (violations, coverage stats)."""
+    if kernels is None:
+        kernels = iter_kernel_defs(packages, extra_modules)
+    violations: List[Violation] = []
+    n = 0
+    for kernel in kernels:
+        n += 1
+        violations.extend(lint_kernel(kernel))
+    return violations, {"kernels": n}

@@ -1,0 +1,83 @@
+"""Contract pass: trace each kernel and diff Tally counts against budgets.
+
+For every configured (method, function) pair the checker traces the core
+evaluation (``Method.evaluate`` with the library-default identity reducer)
+at several deterministic points spread across the function's declared input
+domain, folds the resulting :class:`~repro.isa.counter.Tally` counts into
+the contract categories, and reports any category outside its declared
+``(lo, hi)`` budget from :mod:`repro.core.functions.budgets`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.functions.budgets import budget_for, tally_categories
+from repro.lint.kernels import iter_method_instances
+from repro.lint.report import Violation
+
+__all__ = ["check_contract", "run_contracts", "sample_points"]
+
+#: Fractions of the declared domain the tracer samples — interior points
+#: (the upper bound is open) chosen to land on both sides of every
+#: branch in the shipped kernels (e.g. hyperbolic ROTATION_BOUND).
+_SAMPLE_FRACTIONS = (0.02, 0.17, 0.42, 0.63, 0.88)
+
+
+def sample_points(m) -> List[float]:
+    """Deterministic trace inputs inside the method's declared domain."""
+    lo, hi = m.spec.natural_range
+    return [lo + f * (hi - lo) for f in _SAMPLE_FRACTIONS]
+
+
+def _where(m) -> str:
+    return f"{m.method_name}:{m.spec.name}"
+
+
+def check_contract(m, points: Optional[Iterable[float]] = None
+                   ) -> List[Violation]:
+    """Diff one instance's traced op counts against its declared budget."""
+    budget = budget_for(m)
+    if budget is None:
+        return [Violation(
+            pass_name="contracts", rule="no-contract", severity="warning",
+            message=f"method {m.method_name!r} has no declared op budget",
+            where=_where(m),
+        )]
+    violations: List[Violation] = []
+    reported: set = set()
+    if points is None:
+        points = sample_points(m)
+    for x in points:
+        got = tally_categories(m.element_tally(x).counts)
+        for cat, (lo, hi) in budget.items():
+            n = got.get(cat, 0)
+            if lo <= n <= hi or cat in reported:
+                continue
+            reported.add(cat)
+            want = str(lo) if lo == hi else f"[{lo}, {hi}]"
+            violations.append(Violation(
+                pass_name="contracts", rule="budget-exceeded",
+                severity="error",
+                message=(
+                    f"op budget violated for {cat}: traced {n} at "
+                    f"x={x:.6g}, contract declares {want} "
+                    f"(paper Table 1 envelope for {m.method_name!r})"
+                ),
+                where=f"{_where(m)}:{cat}",
+            ))
+    return violations
+
+
+def run_contracts(
+    methods: Optional[Iterable[object]] = None,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Check every supported (method, function) pair against its budget."""
+    if methods is None:
+        methods = iter_method_instances()
+    violations: List[Violation] = []
+    n = 0
+    for m in methods:
+        n += 1
+        violations.extend(check_contract(m))
+    return violations, {"methods": n}

@@ -1,0 +1,296 @@
+"""Interval pass: abstract interpretation of the s3.28 fixed-point kernels.
+
+Fixed-point words wrap silently in two's complement, so a method whose
+function *values* leave the s3.28 range over its declared input domain
+returns garbage without any runtime error.  This pass propagates value
+ranges (as integer intervals over raw words) through the fixed-point
+kernels' arithmetic — address generation, interpolation multiplies, CORDIC
+vector growth — over each function's declared domain from
+:mod:`repro.core.functions.registry`, and reports potential overflow and
+precision loss.  Attribution is ``method:function`` plus the offending op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lint.kernels import iter_method_instances
+from repro.lint.report import Violation
+
+__all__ = ["Interval", "check_method_intervals", "fx_mul_interval",
+           "run_intervals"]
+
+#: Headroom of the emulated widening multiply (signed 64-bit accumulator).
+_WIDE_MIN, _WIDE_MAX = -(1 << 63), (1 << 63) - 1
+
+#: Grid resolution for bounding a function over its declared domain.
+_DOMAIN_GRID = 4097
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed integer interval ``[lo, hi]`` over fixed-point raw words."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def from_floats(cls, fmt, lo: float, hi: float) -> "Interval":
+        """Quantize a float range to raw words of format ``fmt``."""
+        return cls(int(round(lo * fmt.scale)), int(round(hi * fmt.scale)))
+
+    def add(self, other: "Interval") -> "Interval":
+        """Exact interval sum."""
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        """Exact interval difference."""
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        """Negation (endpoints swap)."""
+        return Interval(-self.hi, -self.lo)
+
+    def shl(self, n: int) -> "Interval":
+        """Left shift of both endpoints (monotone)."""
+        return Interval(self.lo << n, self.hi << n)
+
+    def shr(self, n: int) -> "Interval":
+        """Arithmetic right shift of both endpoints (monotone)."""
+        return Interval(self.lo >> n, self.hi >> n)
+
+    def mul(self, other: "Interval") -> "Interval":
+        """Interval product: the extremes are among the four corners."""
+        corners = (self.lo * other.lo, self.lo * other.hi,
+                   self.hi * other.lo, self.hi * other.hi)
+        return Interval(min(corners), max(corners))
+
+    def offset(self, k: int) -> "Interval":
+        """Translate by the constant ``k``."""
+        return Interval(self.lo + k, self.hi + k)
+
+    def abs_max(self) -> int:
+        """Largest absolute value any element can take."""
+        return max(abs(self.lo), abs(self.hi))
+
+    def fits(self, fmt) -> bool:
+        """True when every value fits the format's raw-word range."""
+        return self.lo >= fmt.min_raw and self.hi <= fmt.max_raw
+
+    def fits_word(self, bits: int = 32) -> bool:
+        """True when every value fits a signed ``bits``-wide register."""
+        return self.lo >= -(1 << (bits - 1)) and self.hi < (1 << (bits - 1))
+
+
+def fx_mul_interval(fmt, a: Interval, b: Interval
+                    ) -> Tuple[Interval, bool]:
+    """Interval twin of :func:`repro.fixedpoint.ops.fx_mul`.
+
+    Returns the result interval and an overflow flag covering both the wide
+    64-bit product and the post-shift result leaving the format's range.
+    """
+    wide = a.mul(b)
+    overflow = wide.lo < _WIDE_MIN or wide.hi > _WIDE_MAX
+    res = wide.shr(fmt.frac_bits)
+    overflow = overflow or not res.fits(fmt)
+    return res, overflow
+
+
+# ----------------------------------------------------------------------
+# per-family checks
+
+
+def _v(m, rule: str, severity: str, op: str, message: str) -> Violation:
+    return Violation(
+        pass_name="intervals", rule=rule, severity=severity, message=message,
+        where=f"{m.method_name}:{m.spec.name}:{op}",
+    )
+
+
+def _domain_range(m, lo: float, hi: float) -> Tuple[float, float]:
+    """Bound the reference function over ``[lo, hi)`` on a dense grid."""
+    grid = np.linspace(lo, hi, _DOMAIN_GRID, endpoint=False)
+    with np.errstate(all="ignore"):
+        vals = np.asarray(m.spec.reference(grid), dtype=np.float64)
+    finite = vals[np.isfinite(vals)]
+    if finite.size == 0:
+        return 0.0, 0.0
+    return float(finite.min()), float(finite.max())
+
+
+def _check_fixed_lut(m) -> List[Violation]:
+    """LLUTFixed / LLUTInterpolatedFixed: domain, addresses, interpolation."""
+    out: List[Violation] = []
+    g = m.geom
+    fmt = g.fmt
+
+    # 1. Function values over the declared domain must be representable —
+    # table entries are raw words, and two's-complement wrap is silent.
+    vmin, vmax = _domain_range(m, g.lo, g.hi)
+    val_iv = Interval(int(np.floor(vmin * fmt.scale)),
+                      int(np.ceil(vmax * fmt.scale)))
+    if not val_iv.fits(fmt):
+        out.append(_v(
+            m, "value-overflow", "error", "table",
+            f"function values span [{vmin:.6g}, {vmax:.6g}] over the "
+            f"declared domain [{g.lo:.6g}, {g.hi:.6g}), outside the "
+            f"s{fmt.int_bits}.{fmt.frac_bits} range "
+            f"[{fmt.to_float(fmt.min_raw):.6g}, {fmt.max_value:.6g}] — "
+            f"table words would wrap",
+        ))
+
+    # 2. Address generation: input word, offset subtract, index rounding.
+    # The non-interpolated kernel rounds via floor-shift + half bit, which
+    # cannot carry past the word; the intervals below cover both variants.
+    a = Interval(int(round(g.lo * fmt.scale)),
+                 min(int(round(g.hi * fmt.scale)), fmt.max_raw))
+    r = a.offset(-g.p_raw)
+    idx = r.shr(g.shift).add(Interval(0, 1 if g.shift > 0 else 0))
+    for op, iv in (("input", a), ("index-sub", r), ("index", idx)):
+        if not iv.fits_word(fmt.word_bits):
+            out.append(_v(
+                m, "address-overflow", "error", op,
+                f"address arithmetic interval [{iv.lo}, {iv.hi}] exceeds "
+                f"the {fmt.word_bits}-bit register",
+            ))
+
+    # 3. Interpolation: the wide multiply and the reconstructed value.
+    if getattr(m, "interpolated", False) and m.entries >= 2:
+        table = np.asarray(m._table, dtype=np.int64)
+        diffs = np.diff(table)
+        diff_iv = Interval(int(diffs.min()), int(diffs.max()))
+        delta_iv = Interval(0, ((1 << g.shift) - 1) << g.n if g.shift > 0
+                            else 0)
+        wide = diff_iv.mul(delta_iv)
+        if wide.lo < _WIDE_MIN or wide.hi > _WIDE_MAX:
+            out.append(_v(
+                m, "mul-overflow", "error", "interp-mul",
+                f"interpolation product interval [{wide.lo}, {wide.hi}] "
+                f"overflows the 64-bit widening multiply",
+            ))
+        if g.shift == 0:
+            out.append(_v(
+                m, "precision-loss", "warning", "interp-mul",
+                f"density 2^-{g.n} equals the format resolution: the "
+                f"interpolation weight is always zero (dead multiply)",
+            ))
+
+    # 4. Resolution: a function whose entire range sits below the format's
+    # resolution quantizes to a constant table.
+    if max(abs(vmin), abs(vmax)) < 2.0 * fmt.resolution:
+        out.append(_v(
+            m, "precision-loss", "warning", "table",
+            f"function magnitude peaks at {max(abs(vmin), abs(vmax)):.3g}, "
+            f"below 2x the s{fmt.int_bits}.{fmt.frac_bits} resolution "
+            f"({fmt.resolution:.3g}) — the table quantizes to ~0",
+        ))
+    return out
+
+
+def _check_cordic_fixed(m) -> List[Violation]:
+    """CordicCircularFixed: vector growth and angle-accumulator bounds."""
+    out: List[Violation] = []
+    word_max = (1 << 31) - 1
+
+    # Rotation vector: each iteration is multiplication by
+    # [[1, -s*2^-i], [s*2^-i, 1]], which scales the Euclidean norm by exactly
+    # sqrt(1 + 4^-i); max |coordinate| <= norm.  The per-coordinate interval
+    # bound B' = B + B>>i compounds to x4.77 and is uselessly loose here, so
+    # we track the norm (plus 1 LSB per iteration for shift rounding).
+    import math
+    bound = float(abs(int(m._x0_raw)))
+    for i in range(m.iterations):
+        bound = bound * math.sqrt(1.0 + 4.0 ** (-i)) + 1.0
+        if bound > word_max:
+            out.append(_v(
+                m, "value-overflow", "error", f"rotate[{i}]",
+                f"rotation vector norm bound {bound:.4g} exceeds the signed "
+                f"32-bit word after iteration {i} (s1.30 headroom exhausted)",
+            ))
+            break
+
+    # Angle accumulator: starts below one quarter-turn, then walks by the
+    # table angles; interval covers whichever branch each iteration takes.
+    from repro.core.cordic.tables import CIRCULAR_ANGLE_FRAC_BITS
+    z = Interval(0, (1 << CIRCULAR_ANGLE_FRAC_BITS) - 1)
+    for i in range(min(m.iterations, len(m._angles))):
+        t = int(m._angles[i])
+        z = Interval(z.lo - t, z.hi + t)
+    if not z.fits_word(32):
+        out.append(_v(
+            m, "value-overflow", "error", "angle-acc",
+            f"angle accumulator interval [{z.lo}, {z.hi}] exceeds the "
+            f"signed 32-bit word",
+        ))
+    return out
+
+
+def _check_quadrant_split(m) -> List[Violation]:
+    """CordicCircular & subclasses: the one s3.28 quadrant multiply."""
+    out: List[Violation] = []
+    from repro.core.cordic.circular import _TWO_OVER_PI_RAW
+    from repro.fixedpoint import Q3_28
+
+    lo, hi = m.spec.natural_range
+    a = Interval.from_floats(Q3_28, min(lo, 0.0), hi)
+    if not a.fits(Q3_28):
+        out.append(_v(
+            m, "value-overflow", "error", "quadrant-split",
+            f"input domain [{lo:.6g}, {hi:.6g}) is not representable in "
+            f"s3.28 for the quadrant multiply",
+        ))
+        return out
+    _, overflow = fx_mul_interval(Q3_28, a,
+                                  Interval(_TWO_OVER_PI_RAW, _TWO_OVER_PI_RAW))
+    # The product feeds a shift/mask, not a stored s3.28 word, so only the
+    # wide multiply must stay inside the 64-bit accumulator.
+    wide = a.mul(Interval(_TWO_OVER_PI_RAW, _TWO_OVER_PI_RAW))
+    if wide.lo < _WIDE_MIN or wide.hi > _WIDE_MAX:
+        out.append(_v(
+            m, "mul-overflow", "error", "quadrant-split",
+            f"quadrant multiply interval [{wide.lo}, {wide.hi}] overflows "
+            f"the 64-bit widening multiply",
+        ))
+    return out
+
+
+def check_method_intervals(m) -> List[Violation]:
+    """Dispatch the interval checks appropriate for one method instance."""
+    from repro.core.cordic.circular import CordicCircular
+    from repro.core.cordic.fixed import CordicCircularFixed
+    from repro.core.lut.llut import LLUTFixed, LLUTInterpolatedFixed
+    from repro.core.lut.tan import TanQuotientLUT
+
+    out: List[Violation] = []
+    if isinstance(m, TanQuotientLUT):
+        out.extend(check_method_intervals(m.sin_m))
+        out.extend(check_method_intervals(m.cos_m))
+        return out
+    if isinstance(m, (LLUTFixed, LLUTInterpolatedFixed)):
+        out.extend(_check_fixed_lut(m))
+    if isinstance(m, CordicCircularFixed):
+        out.extend(_check_cordic_fixed(m))
+    if isinstance(m, CordicCircular):
+        out.extend(_check_quadrant_split(m))
+    return out
+
+
+def run_intervals(
+    methods: Optional[Iterable[object]] = None,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Interval-check every fixed-point-bearing method instance."""
+    if methods is None:
+        methods = iter_method_instances()
+    violations: List[Violation] = []
+    n = 0
+    for m in methods:
+        n += 1
+        violations.extend(check_method_intervals(m))
+    return violations, {"methods": n}

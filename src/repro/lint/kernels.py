@@ -1,0 +1,210 @@
+"""Discovery: kernel function definitions and method instances to verify.
+
+A *kernel* is any ``def`` whose parameter list contains ``ctx`` — the
+convention every PIM-side routine in this codebase follows (the ``ctx``
+argument is the :class:`~repro.isa.counter.CycleCounter` ISA).  Discovery is
+file-based (pure ``ast`` over the package sources, no imports executed), so
+the AST pass sees exactly what is on disk.  ``repro.isa`` itself is exempt:
+it *implements* the counted ops.
+
+Lint directives are ordinary comments:
+
+``# lint: allow(reason)``
+    Suppresses AST findings on that physical line (on the ``def`` line:
+    the whole function).  For hardware-free bit reinterpretations and
+    host-side geometry folds.
+``# lint: const(name, ...)``
+    On a ``def`` line: declares those parameters to be host-side constants
+    (table geometry, shift amounts), not traced values.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import importlib.util
+import pkgutil
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_PACKAGES",
+    "Directives",
+    "KernelDef",
+    "iter_kernel_defs",
+    "iter_method_instances",
+]
+
+#: Packages whose kernels the AST pass walks.  ``repro.isa`` implements the
+#: ISA and is deliberately absent; ``repro.analysis`` and ``repro.pim`` hold
+#: host-side orchestration only (no ``ctx``-parameter defs).
+DEFAULT_PACKAGES = ("repro.core", "repro.fixedpoint", "repro.workloads")
+
+_DIRECTIVE_RE = re.compile(r"#\s*lint:\s*(allow|const)\(([^)]*)\)")
+
+
+@dataclass
+class Directives:
+    """Per-module lint directives, keyed by 1-based physical line."""
+
+    allow: Dict[int, str] = field(default_factory=dict)
+    const: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str) -> "Directives":
+        d = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _DIRECTIVE_RE.search(line)
+            if not m:
+                continue
+            kind, payload = m.group(1), m.group(2).strip()
+            if kind == "allow":
+                d.allow[lineno] = payload or "unspecified"
+            else:
+                names = tuple(p.strip() for p in payload.split(",") if p.strip())
+                d.const[lineno] = names
+        return d
+
+
+@dataclass
+class KernelDef:
+    """One kernel function definition located in a source file."""
+
+    qualname: str           # e.g. "repro.core.lut.llut.LLUT.core_eval"
+    file: str               # path as recorded in the module spec
+    node: ast.FunctionDef
+    directives: Directives
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    def const_params(self) -> Tuple[str, ...]:
+        """Parameters declared host constants via ``# lint: const(...)``."""
+        names: List[str] = []
+        lo = self.node.lineno
+        hi = self.node.body[0].lineno if self.node.body else lo
+        for lineno, params in self.directives.const.items():
+            if lo <= lineno < hi or lineno == lo:
+                names.extend(params)
+        return tuple(names)
+
+    def allowed(self, lineno: int) -> bool:
+        """True when findings at ``lineno`` are suppressed."""
+        return lineno in self.directives.allow or self.line in self.directives.allow
+
+
+def _module_files(packages: Sequence[str],
+                  extra_modules: Sequence[str]) -> Iterator[Tuple[str, str]]:
+    """Yield ``(module_name, file_path)`` for every module to scan."""
+    seen = set()
+    for pkg_name in packages:
+        spec = importlib.util.find_spec(pkg_name)
+        if spec is None or spec.origin is None:
+            continue
+        if pkg_name not in seen:
+            seen.add(pkg_name)
+            yield pkg_name, spec.origin
+        if spec.submodule_search_locations:
+            pkg = importlib.import_module(pkg_name)
+            for info in pkgutil.walk_packages(pkg.__path__, pkg_name + "."):
+                sub = importlib.util.find_spec(info.name)
+                if sub is not None and sub.origin and info.name not in seen:
+                    seen.add(info.name)
+                    yield info.name, sub.origin
+    for name in extra_modules:
+        try:
+            mod = importlib.import_module(name)
+        except ImportError as exc:
+            raise ConfigurationError(
+                f"cannot import extra lint module {name!r}: {exc}"
+            ) from exc
+        path = getattr(mod, "__file__", None)
+        if path and name not in seen:
+            seen.add(name)
+            yield name, path
+
+
+class _DefCollector(ast.NodeVisitor):
+    """Collects (qualname, node) for every function def, tracking nesting."""
+
+    def __init__(self, module_name: str):
+        self.stack = [module_name]
+        self.found: List[Tuple[str, ast.FunctionDef]] = []
+
+    def _visit_def(self, node):
+        self.stack.append(node.name)
+        self.found.append((".".join(self.stack), node))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+
+def _param_names(node: ast.FunctionDef) -> List[str]:
+    args = node.args
+    names = [a.arg for a in getattr(args, "posonlyargs", [])]
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def iter_kernel_defs(
+    packages: Sequence[str] = DEFAULT_PACKAGES,
+    extra_modules: Sequence[str] = (),
+) -> Iterator[KernelDef]:
+    """Yield every kernel def (a function with a ``ctx`` parameter)."""
+    for module_name, path in _module_files(packages, extra_modules):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError:
+            continue
+        directives = Directives.parse(source)
+        collector = _DefCollector(module_name)
+        collector.visit(ast.parse(source, filename=path))
+        for qualname, node in collector.found:
+            if "ctx" in _param_names(node):
+                yield KernelDef(qualname=qualname, file=path, node=node,
+                                directives=directives)
+
+
+def iter_method_instances(
+    methods: Optional[Iterable[str]] = None,
+    functions: Optional[Iterable[str]] = None,
+    setup: bool = True,
+) -> Iterator[object]:
+    """Yield configured Method instances for every supported pair.
+
+    Instances are built through :func:`repro.api.make_method` with library
+    defaults — the shipped configurations are what the contract, interval and
+    memory passes certify.
+    """
+    from repro.api import ALL_METHOD_NAMES, make_method
+    from repro.core.functions.support import METHOD_SUPPORT, supports
+
+    method_names = list(methods) if methods is not None else list(ALL_METHOD_NAMES)
+    for method_name in method_names:
+        funcs = METHOD_SUPPORT.get(method_name, ())
+        if functions is not None:
+            funcs = [f for f in funcs if f in set(functions)]
+        for func_name in sorted(funcs):
+            if not supports(method_name, func_name):
+                continue
+            m = make_method(func_name, method_name)
+            if setup:
+                m.setup()
+            yield m

@@ -1,0 +1,66 @@
+"""Memory pass: size every method's tables against DPU memory capacities.
+
+Each configured method declares where its tables live (``placement`` is
+``"wram"`` or ``"mram"``); the pass checks the footprint against the
+corresponding :class:`~repro.pim.config.DPUConfig` capacity.  A table that
+exceeds its region cannot be deployed at all (error); a WRAM-placed table
+that crowds out the tasklet stacks gets a warning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.kernels import iter_method_instances
+from repro.lint.report import Violation
+from repro.pim.config import UPMEM_DPU, DPUConfig
+
+__all__ = ["check_method_memory", "run_memory"]
+
+#: Fraction of WRAM a single method's tables may claim before the pass
+#: warns: the scratchpad also holds every tasklet's stack and I/O buffers.
+_WRAM_WARN_FRACTION = 0.75
+
+
+def check_method_memory(m, dpu: DPUConfig = UPMEM_DPU) -> List[Violation]:
+    """Check one configured instance's table bytes against its region."""
+    size = int(m.table_bytes())
+    placement = getattr(m, "placement", "mram")
+    cap = dpu.wram_bytes if placement == "wram" else dpu.mram_bytes
+    where = f"{m.method_name}:{m.spec.name}:{placement}"
+    out: List[Violation] = []
+    if size > cap:
+        out.append(Violation(
+            pass_name="memory", rule="budget-exceeded", severity="error",
+            message=(
+                f"tables need {size} bytes but {placement.upper()} holds "
+                f"{cap} bytes per DPU — this configuration cannot deploy"
+            ),
+            where=where,
+        ))
+    elif placement == "wram" and size > _WRAM_WARN_FRACTION * cap:
+        out.append(Violation(
+            pass_name="memory", rule="wram-pressure", severity="warning",
+            message=(
+                f"tables claim {size} of {cap} WRAM bytes "
+                f"(> {int(_WRAM_WARN_FRACTION * 100)}%), leaving little "
+                f"room for tasklet stacks and I/O buffers"
+            ),
+            where=where,
+        ))
+    return out
+
+
+def run_memory(
+    methods: Optional[Iterable[object]] = None,
+    dpu: DPUConfig = UPMEM_DPU,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Size-check every supported (method, function) pair."""
+    if methods is None:
+        methods = iter_method_instances()
+    violations: List[Violation] = []
+    n = 0
+    for m in methods:
+        n += 1
+        violations.extend(check_method_memory(m, dpu))
+    return violations, {"methods": n}

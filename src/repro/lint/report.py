@@ -1,0 +1,118 @@
+"""Violation records and the aggregate lint report (text + JSON)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LintReport", "SEVERITIES", "Violation"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding from a lint pass.
+
+    Attribution is either ``file``/``line`` (AST pass) or ``where`` — a
+    ``method:function`` pair plus the offending op (contract, interval and
+    memory passes).
+    """
+
+    pass_name: str          # "ast" | "contracts" | "intervals" | "memory"
+    rule: str               # e.g. "uncounted-op", "budget-exceeded"
+    severity: str           # "error" | "warning"
+    message: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    where: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def location(self) -> str:
+        """Human-readable attribution: path:line or method:function:op."""
+        if self.file is not None:
+            loc = self.file if self.line is None else f"{self.file}:{self.line}"
+        else:
+            loc = self.where or "<unknown>"
+        return loc
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable dict form of this finding."""
+        return {
+            "pass": self.pass_name,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "where": self.where,
+        }
+
+
+@dataclass
+class LintReport:
+    """All violations from one lint run plus coverage statistics."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: What was covered, e.g. ``{"kernels": 70, "methods": 265}``.
+    checked: Dict[str, int] = field(default_factory=dict)
+    passes: List[str] = field(default_factory=list)
+
+    def extend(self, violations: List[Violation]) -> None:
+        """Append the findings of one pass."""
+        self.violations.extend(violations)
+
+    @property
+    def errors(self) -> List[Violation]:
+        """All error-severity findings."""
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        """All warning-severity findings."""
+        return [v for v in self.violations if v.severity == "warning"]
+
+    def has_errors(self) -> bool:
+        """True when at least one error-severity finding exists."""
+        return bool(self.errors)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 on any error, or on any warning under ``strict``."""
+        if self.errors or (strict and self.warnings):
+            return 1
+        return 0
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable dict: passes, coverage, counts, violations."""
+        return {
+            "passes": list(self.passes),
+            "checked": dict(self.checked),
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+            },
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def to_text(self) -> str:
+        """Plain-text report, errors first, ending with a summary line."""
+        lines: List[str] = []
+        order = {"error": 0, "warning": 1}
+        for v in sorted(
+            self.violations,
+            key=lambda v: (order[v.severity], v.pass_name, v.location()),
+        ):
+            lines.append(
+                f"{v.severity}: [{v.pass_name}/{v.rule}] "
+                f"{v.location()}: {v.message}"
+            )
+        coverage = ", ".join(f"{n} {k}" for k, n in sorted(self.checked.items()))
+        ran = ",".join(self.passes) or "none"
+        lines.append(
+            f"lint: {len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s) across passes [{ran}] ({coverage or 'nothing checked'})"
+        )
+        return "\n".join(lines)

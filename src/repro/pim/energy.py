@@ -22,7 +22,6 @@ movement buys *time* (bandwidth), not joules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 from repro.pim.system import SystemRunResult
 

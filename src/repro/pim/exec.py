@@ -22,7 +22,7 @@ validation behind DESIGN.md's pipeline-model substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.pim.config import DPUConfig, UPMEM_DPU

@@ -9,7 +9,7 @@ Figure 5 dashed-vs-solid lines and its Observation 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

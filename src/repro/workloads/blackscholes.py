@@ -25,12 +25,11 @@ dataset makes them unnecessary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 import numpy as np
 
 from repro.api import make_method
-from repro.core.functions.registry import get_function
 from repro.errors import ConfigurationError
 from repro.fixedpoint import Q3_28, fx_mul, fx_shift
 from repro.isa.counter import CycleCounter
@@ -99,7 +98,9 @@ def reference_call_prices(batch: OptionBatch) -> np.ndarray:
     r = batch.rate.astype(np.float64)
     v = batch.volatility.astype(np.float64)
     t = batch.time.astype(np.float64)
-    cndf = lambda x: 0.5 * (1.0 + erf(x / np.sqrt(2.0)))  # noqa: E731
+    def cndf(x):
+        return 0.5 * (1.0 + erf(x / np.sqrt(2.0)))
+
     vsq = v * np.sqrt(t)
     d1 = (np.log(s / k) + (r + v * v / 2.0) * t) / vsq
     d2 = d1 - vsq
@@ -202,7 +203,7 @@ class Blackscholes:
         disc = self._fn("exp")(ctx, ctx.fneg(ctx.fmul(r, t))) \
             if self.variant != "fixed_full" else \
             ctx.fx2f(self._methods["exp"].core_eval_raw(
-                ctx, -ctx.f2fx(ctx.fmul(r, t), 28)), 28)
+                ctx, ctx.isub(0, ctx.f2fx(ctx.fmul(r, t), 28))), 28)
         kd = ctx.fmul(k, disc)
         return ctx.fadd(ctx.fsub(call, s), kd)
 
@@ -319,7 +320,8 @@ class Blackscholes:
 
     def _undo_complement(self, ctx: CycleCounter, val: int, original: int) -> int:
         """Phi(-x) = 1 - Phi(x) on raw words."""
-        if original < 0:
+        if ctx.icmp(original, 0) < 0:
+            ctx.branch()
             return ctx.isub(self._ONE_FIXED, val)
         return val
 
@@ -366,7 +368,9 @@ class Blackscholes:
     def _prices_fixed(self, s, k, r, v, t) -> np.ndarray:
         fmt = Q3_28
         scale = fmt.scale
-        to_fx = lambda a: np.round(a.astype(np.float64) * scale).astype(np.int64)  # noqa: E731
+        def to_fx(a):
+            return np.round(a.astype(np.float64) * scale).astype(np.int64)
+
         ratio = to_fx((s / k).astype(_F32))
         rx, vx, tx = to_fx(r), to_fx(v), to_fx(t)
         logm = self._methods["log"]
@@ -376,7 +380,9 @@ class Blackscholes:
 
         lg = logm.core_eval_raw_vec(ratio)
         sq = sqrtm.core_eval_raw_vec(tx)
-        mulfx = lambda a, b: (a * b) >> fmt.frac_bits  # noqa: E731
+        def mulfx(a, b):
+            return (a * b) >> fmt.frac_bits
+
         vsq = mulfx(vx, sq)
         v2h = mulfx(vx, vx) >> 1
         drift = rx + v2h

@@ -10,7 +10,6 @@ and no float divide — to show the headroom of function-level tabulation.
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 

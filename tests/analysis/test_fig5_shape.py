@@ -5,7 +5,6 @@ ordering that the paper's key takeaways rest on.  They run a reduced sweep
 (fewer points, fewer traced samples) to stay fast.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.sweep import default_inputs, sweep_method

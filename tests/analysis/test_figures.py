@@ -1,10 +1,8 @@
 """Tests for the figure/table harnesses (small configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import (
-    Fig9Row,
     fig8_data,
     fig8_report,
     fig9_data,

@@ -1,6 +1,5 @@
 """Tests for kernel listings."""
 
-import pytest
 
 from repro.analysis.listing import kernel_listing, listing_report
 from repro.api import make_method

@@ -1,6 +1,5 @@
 """Tests for Pareto-frontier extraction."""
 
-import pytest
 
 from repro.analysis.pareto import (
     dominates,

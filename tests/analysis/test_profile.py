@@ -1,6 +1,5 @@
 """Tests for the error-profile diagnostic."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.profile import error_profile, profile_report

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.recommend import Recommendation, Requirements, recommend
+from repro.analysis.recommend import Requirements, recommend
 from repro.errors import ConfigurationError
 
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.api import make_method
 from repro.core.accuracy import measure
-from repro.core.functions.registry import TWO_PI, get_function
+from repro.core.functions.registry import get_function
 from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter
 from repro.isa.opcosts import UPMEM_COSTS

@@ -13,7 +13,6 @@ from repro.core.functions.registry import TWO_PI, get_function
 from repro.core.lut.llut import _LLUTGeometry
 from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter
-from repro.isa.opcosts import UPMEM_COSTS
 
 _F32 = np.float32
 

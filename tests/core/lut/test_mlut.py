@@ -10,7 +10,6 @@ from repro.core.accuracy import measure
 from repro.core.functions.registry import get_function
 from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter
-from repro.isa.opcosts import UPMEM_COSTS
 
 _F32 = np.float32
 

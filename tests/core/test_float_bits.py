@@ -1,9 +1,7 @@
 """Tests for float32 bit-level tools."""
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

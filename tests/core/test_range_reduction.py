@@ -154,7 +154,9 @@ class TestOddSymmetric:
     def test_gelu_identity(self):
         # gelu(-x) = gelu(x) - x must hold through the reducer.
         from scipy.special import erf
-        gelu = lambda v: v * 0.5 * (1 + erf(v / math.sqrt(2)))  # noqa: E731
+        def gelu(v):
+            return v * 0.5 * (1 + erf(v / math.sqrt(2)))
+
         r = OddSymmetricReducer("gelu")
         ctx = CycleCounter()
         x = -1.25

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.api import make_method
-from repro.core.setup_model import DEFAULT_SETUP_MODEL, SetupTimeModel, setup_seconds
+from repro.core.setup_model import SetupTimeModel, setup_seconds
 
 
 class TestModel:

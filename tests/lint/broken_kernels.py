@@ -1,0 +1,40 @@
+"""Deliberately broken kernels for the lint test suite.
+
+This module is never executed — the AST pass parses it (via the
+``extra_modules`` hook / ``--extra-module`` flag) and must flag each seeded
+defect below with exact file/line attribution.  The tests locate the
+offending lines by searching this source, so edits here stay cheap, but
+each defect must remain on a single distinctive line.
+"""
+
+import math
+
+
+def bad_kernel_mul(ctx, u):
+    """Uncounted multiply: ``*`` bypasses ``ctx.fmul``."""
+    v = u * 2.0
+    return ctx.fadd(v, v)
+
+
+def bad_kernel_math(ctx, u):
+    """Host transcendental on a traced value: zero slots charged."""
+    return math.sin(u)
+
+
+def bad_kernel_compare(ctx, u):
+    """Raw comparison instead of ``ctx.fcmp`` + ``ctx.branch``."""
+    if u > 0.5:
+        return ctx.fneg(u)
+    return u
+
+
+def good_kernel_allowed(ctx, u):
+    """The escape hatch: an allow directive suppresses the finding."""
+    v = u * 2.0  # lint: allow(test fixture - deliberately suppressed)
+    return ctx.fadd(v, v)
+
+
+def good_kernel_const(ctx, u, shift):  # lint: const(shift)
+    """Host-constant parameter: arithmetic on it costs nothing on-core."""
+    k = shift + 1
+    return ctx.shl(u, k)

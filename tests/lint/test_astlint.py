@@ -1,0 +1,56 @@
+"""AST pass: seeded defects are caught exactly; the shipped tree is clean."""
+
+from pathlib import Path
+
+from repro.lint import run_ast_lint
+
+from tests.lint import broken_kernels
+
+MODULE = "tests.lint.broken_kernels"
+SOURCE = Path(broken_kernels.__file__).read_text()
+
+
+def _line_of(snippet: str) -> int:
+    for i, line in enumerate(SOURCE.splitlines(), start=1):
+        if snippet in line:
+            return i
+    raise AssertionError(f"snippet {snippet!r} not found in broken_kernels")
+
+
+def _broken_violations():
+    violations, counts = run_ast_lint(packages=(), extra_modules=(MODULE,))
+    assert counts["kernels"] == 5
+    return violations
+
+
+class TestSeededDefects:
+    def test_each_defect_flagged_with_exact_line(self):
+        violations = _broken_violations()
+        got = {(v.line, v.rule) for v in violations}
+        assert got == {
+            (_line_of("v = u * 2.0"), "uncounted-op"),
+            (_line_of("math.sin(u)"), "uncounted-call"),
+            (_line_of("if u > 0.5:"), "uncounted-compare"),
+        }
+
+    def test_file_attribution_and_severity(self):
+        for v in _broken_violations():
+            assert v.file.endswith("broken_kernels.py")
+            assert v.severity == "error"
+            assert v.pass_name == "ast"
+            assert "broken_kernels" in v.where
+
+    def test_allow_directive_suppresses(self):
+        allowed_line = _line_of("lint: allow(test fixture")
+        assert all(v.line != allowed_line for v in _broken_violations())
+
+    def test_const_directive_untaints_parameter(self):
+        const_line = _line_of("k = shift + 1")
+        assert all(v.line != const_line for v in _broken_violations())
+
+
+class TestCleanTree:
+    def test_shipped_kernels_have_no_violations(self):
+        violations, counts = run_ast_lint()
+        assert violations == []
+        assert counts["kernels"] >= 80

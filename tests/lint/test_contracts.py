@@ -1,0 +1,70 @@
+"""Contract pass: traced tallies versus the declared op budgets."""
+
+import pytest
+
+from repro.api import make_method
+from repro.core.functions.budgets import CATEGORIES, budget_for, tally_categories
+from repro.core.functions.registry import get_function
+from repro.core.lut.mlut import MLUT
+from repro.isa.counter import CycleCounter
+from repro.lint import check_contract
+
+
+class CheatingMLUT(MLUT):
+    """An M-LUT that quietly spends a second multiply per element."""
+
+    def core_eval(self, ctx: CycleCounter, u):
+        y = super().core_eval(ctx, u)
+        return ctx.fmul(y, y)
+
+
+class TestSeededBudgetViolation:
+    def test_extra_multiply_is_caught(self):
+        m = CheatingMLUT(get_function("sin")).setup()
+        violations = check_contract(m)
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.rule == "budget-exceeded"
+        assert v.severity == "error"
+        assert v.where == "mlut:sin:fp_mul"
+        assert "traced 2" in v.message
+
+    def test_honest_method_passes(self):
+        m = MLUT(get_function("sin")).setup()
+        assert check_contract(m) == []
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("function,method", [
+        ("sin", "mlut"), ("sin", "llut"), ("sin", "llut_i"),
+        ("sin", "cordic"), ("sin", "poly"), ("exp", "dlut"),
+    ])
+    def test_shipped_methods_meet_their_budgets(self, function, method):
+        m = make_method(function, method).setup()
+        assert check_contract(m) == []
+
+    def test_budget_categories_are_closed(self):
+        m = make_method("sin", "llut_i").setup()
+        budget = budget_for(m)
+        assert budget is not None
+        assert set(budget) <= set(CATEGORIES)
+
+    def test_tally_categories_buckets_ops(self):
+        m = make_method("sin", "llut_i").setup()
+        tally = m.element_tally(1.0)
+        cats = tally_categories(tally.counts)
+        assert cats["fp_mul"] == 1
+        assert cats["loads"] == 2
+
+    def test_unknown_method_warns_no_contract(self):
+        class _Spec:
+            name = "sin"
+
+        class _Mystery:
+            method_name = "mystery"
+            spec = _Spec()
+
+        violations = check_contract(_Mystery())
+        assert len(violations) == 1
+        assert violations[0].rule == "no-contract"
+        assert violations[0].severity == "warning"

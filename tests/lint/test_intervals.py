@@ -1,0 +1,56 @@
+"""Interval pass: s3.28 range propagation over declared domains."""
+
+import pytest
+
+from repro.core.functions.registry import get_function
+from repro.core.lut.llut import LLUTFixed, LLUTInterpolatedFixed
+from repro.fixedpoint import Q3_28
+from repro.lint import Interval, check_method_intervals, fx_mul_interval
+
+
+class TestSeededOverflow:
+    def test_sinh_overflows_the_fixed_format(self):
+        # sinh reaches ~27.3 on its declared (0, 4) domain — far outside
+        # the s3.28 value range, so every table word near the top wraps.
+        m = LLUTInterpolatedFixed(get_function("sinh")).setup()
+        violations = check_method_intervals(m)
+        assert any(v.rule == "value-overflow" and v.severity == "error"
+                   for v in violations)
+        v = next(v for v in violations if v.rule == "value-overflow")
+        assert v.where == "llut_i_fx:sinh:table"
+        assert "wrap" in v.message
+
+    def test_sine_fixed_luts_are_clean(self):
+        for cls in (LLUTFixed, LLUTInterpolatedFixed):
+            m = cls(get_function("sin")).setup()
+            assert check_method_intervals(m) == []
+
+
+class TestIntervalArithmetic:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_add_sub_neg(self):
+        a, b = Interval(-2, 5), Interval(1, 3)
+        assert a.add(b) == Interval(-1, 8)
+        assert a.sub(b) == Interval(-5, 4)
+        assert a.neg() == Interval(-5, 2)
+
+    def test_mul_takes_corner_extremes(self):
+        assert Interval(-2, 3).mul(Interval(-4, 5)) == Interval(-12, 15)
+
+    def test_fits_word(self):
+        assert Interval(-(1 << 31), (1 << 31) - 1).fits_word(32)
+        assert not Interval(0, 1 << 31).fits_word(32)
+
+    def test_fx_mul_overflow_flag(self):
+        big = Interval.from_floats(Q3_28, 5.0, 7.5)
+        _, overflow = fx_mul_interval(Q3_28, big, big)
+        assert overflow  # 7.5 * 7.5 = 56.25 leaves the s3.28 range
+
+    def test_fx_mul_in_range(self):
+        small = Interval.from_floats(Q3_28, 0.0, 1.0)
+        res, overflow = fx_mul_interval(Q3_28, small, small)
+        assert not overflow
+        assert res.lo == 0 and res.hi <= Q3_28.max_raw

@@ -1,0 +1,37 @@
+"""Memory pass: LUT footprints versus the DPU's WRAM/MRAM capacities."""
+
+from repro.api import make_method
+from repro.lint import check_method_memory
+from repro.pim.config import DPUConfig
+
+
+class TestSeededOverflow:
+    def test_wram_overflow_is_an_error(self):
+        # ~1.6 MB of sine table declared for 64 KB of WRAM.
+        m = make_method("sin", "llut", density_log2=16,
+                        placement="wram").setup()
+        violations = check_method_memory(m)
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.rule == "budget-exceeded"
+        assert v.severity == "error"
+        assert v.where == "llut:sin:wram"
+        assert str(m.table_bytes()) in v.message
+
+    def test_same_table_fits_mram(self):
+        m = make_method("sin", "llut", density_log2=16).setup()
+        assert check_method_memory(m) == []
+
+    def test_wram_pressure_warns(self):
+        # 51 KB in 64 KB of WRAM: deployable, but over the 75% watermark.
+        m = make_method("sin", "llut", density_log2=11,
+                        placement="wram").setup()
+        violations = check_method_memory(m)
+        assert [v.rule for v in violations] == ["wram-pressure"]
+        assert violations[0].severity == "warning"
+
+    def test_budget_scales_with_the_dpu_config(self):
+        m = make_method("sin", "llut", density_log2=11,
+                        placement="wram").setup()
+        roomy = DPUConfig(wram_bytes=1 << 20)
+        assert check_method_memory(m, dpu=roomy) == []

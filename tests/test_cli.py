@@ -69,3 +69,35 @@ class TestNewCommands:
                      "--bins", "6"]) == 0
         out = capsys.readouterr().out
         assert "error profile" in out
+
+
+class TestLint:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_strict_flags_seeded_violations(self, capsys):
+        assert main(["lint", "--strict", "--passes", "ast",
+                     "--extra-module", "tests.lint.broken_kernels"]) == 1
+        out = capsys.readouterr().out
+        assert "uncounted-op" in out
+        assert "broken_kernels.py" in out
+
+    def test_json_output_is_valid(self, capsys):
+        import json
+        assert main(["lint", "--json", "--passes", "ast,memory"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["passes"] == ["ast", "memory"]
+        assert blob["counts"] == {"error": 0, "warning": 0}
+        assert blob["violations"] == []
+
+    def test_unknown_pass_is_a_usage_error(self, capsys):
+        assert main(["lint", "--passes", "bogus"]) == 2
+        assert "unknown lint pass" in capsys.readouterr().err
+
+    def test_lint_registered_in_parser(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert "lint" in sub.choices

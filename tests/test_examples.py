@@ -6,7 +6,6 @@ these catch API drift between the library and its documented entry points.
 
 import importlib
 import pathlib
-import sys
 
 import pytest
 

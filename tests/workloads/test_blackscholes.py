@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter
-from repro.pim.config import SystemConfig
 from repro.pim.system import PIMSystem
 from repro.workloads.blackscholes import (
     VARIANTS,
