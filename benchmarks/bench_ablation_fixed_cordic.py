@@ -12,8 +12,8 @@ from repro.analysis.report import format_table
 from repro.analysis.sweep import default_inputs, sweep_method
 
 
-def _collect():
-    inputs = default_inputs("sin", n=8192)
+def _collect(seed):
+    inputs = default_inputs("sin", n=8192, seed=seed)
     rows = []
     for method in ("cordic", "cordic_fx"):
         rows += sweep_method("sin", method, "iterations",
@@ -23,8 +23,10 @@ def _collect():
     return rows
 
 
-def test_fixed_cordic_ablation(benchmark, write_report):
-    points = benchmark.pedantic(_collect, rounds=1, iterations=1)
+def test_fixed_cordic_ablation(benchmark, write_report, bench_seeds):
+    points = benchmark.pedantic(
+        _collect, args=(bench_seeds["ablation_fixed_cordic"],),
+        rounds=1, iterations=1)
     report = ("Ablation: float vs fixed-point CORDIC (sine)\n"
               + format_table(
                   ["method", "param", "rmse", "cycles/elem"],

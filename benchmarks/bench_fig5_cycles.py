@@ -12,8 +12,9 @@ from repro.analysis.figures import fig5_report
 from repro.analysis.sweep import default_inputs, sweep_method
 
 
-def test_fig5_cycles_vs_rmse(benchmark, sine_points, write_report):
-    inputs = default_inputs("sin", n=4096)
+def test_fig5_cycles_vs_rmse(benchmark, sine_points, write_report,
+                             bench_seeds):
+    inputs = default_inputs("sin", n=4096, seed=bench_seeds["fig5_cycles"])
 
     def measure_one():
         return sweep_method("sin", "llut_i", "density_log2", (11,),

@@ -27,8 +27,8 @@ _GRIDS = {
 }
 
 
-def _collect(function):
-    inputs = default_inputs(function, n=8192)
+def _collect(function, seed):
+    inputs = default_inputs(function, n=8192, seed=seed)
     points = []
     for method, knob, values, extra in _GRIDS[function]:
         points += sweep_method(function, method, knob, values,
@@ -37,8 +37,9 @@ def _collect(function):
     return points
 
 
-def test_fig5_exp(benchmark, write_report):
-    points = benchmark.pedantic(lambda: _collect("exp"), rounds=1,
+def test_fig5_exp(benchmark, write_report, bench_seeds):
+    seed = bench_seeds["fig5_other_functions"]
+    points = benchmark.pedantic(lambda: _collect("exp", seed), rounds=1,
                                 iterations=1)
     report = ("Figure 5 analogue: exp methods (natural range [0, ln2))\n"
               + format_table(
@@ -57,8 +58,9 @@ def test_fig5_exp(benchmark, write_report):
     assert min(by["cordic"]) > max(by["llut_i"])
 
 
-def test_fig5_tanh(benchmark, write_report):
-    points = benchmark.pedantic(lambda: _collect("tanh"), rounds=1,
+def test_fig5_tanh(benchmark, write_report, bench_seeds):
+    seed = bench_seeds["fig5_other_functions"]
+    points = benchmark.pedantic(lambda: _collect("tanh", seed), rounds=1,
                                 iterations=1)
     report = ("Figure 5 analogue: tanh methods (natural range [0, 8))\n"
               + format_table(

@@ -44,9 +44,10 @@ _F32 = np.float32
 # Figures 5-7: one shared sweep, three projections
 
 
-def fig5_data(costs: OpCosts = UPMEM_COSTS) -> List[SweepPoint]:
+def fig5_data(costs: OpCosts = UPMEM_COSTS,
+              batch: bool = True) -> List[SweepPoint]:
     """Figure 5/6/7 source data: the full sine method sweep."""
-    return sine_sweep(costs=costs)
+    return sine_sweep(costs=costs, batch=batch)
 
 
 def _sweep_table(points: Sequence[SweepPoint], value_header: str,
@@ -135,6 +136,7 @@ def fig9_data(
     n_vector: int = 30_000_000,
     costs: OpCosts = UPMEM_COSTS,
     trace_elements: int = 10_000,
+    batch: bool = True,
 ) -> List[Fig9Row]:
     """Execution times of all Figure 9 configurations.
 
@@ -147,14 +149,15 @@ def fig9_data(
     rows: List[Fig9Row] = []
 
     # Blackscholes ----------------------------------------------------
-    batch = generate_options(trace_elements)
+    options = generate_options(trace_elements)
     rows.append(Fig9Row("blackscholes", "cpu_1t",
                         CPU_BLACKSCHOLES.seconds(n_blackscholes, 1)))
     rows.append(Fig9Row("blackscholes", "cpu_32t",
                         CPU_BLACKSCHOLES.seconds(n_blackscholes, 32)))
     for variant in ("poly", "mlut_i", "llut_i", "llut_i_fx"):
         bs = Blackscholes(variant, costs).setup()
-        res = bs.run(batch, system, virtual_n=n_blackscholes)
+        res = bs.run(options, system, virtual_n=n_blackscholes,
+                     use_batch=batch)
         rows.append(Fig9Row("blackscholes", f"pim_{variant}",
                             res.total_seconds))
 
@@ -164,7 +167,7 @@ def fig9_data(
     rows.append(Fig9Row("sigmoid", "cpu_32t", CPU_SIGMOID.seconds(n_vector, 32)))
     for variant in ("poly", "mlut_i", "llut_i"):
         sg = Sigmoid(variant, costs).setup()
-        res = sg.run(xs, system, virtual_n=n_vector)
+        res = sg.run(xs, system, virtual_n=n_vector, use_batch=batch)
         rows.append(Fig9Row("sigmoid", f"pim_{variant}", res.total_seconds))
 
     # Softmax ----------------------------------------------------------
@@ -173,7 +176,7 @@ def fig9_data(
     rows.append(Fig9Row("softmax", "cpu_32t", CPU_SOFTMAX.seconds(n_vector, 32)))
     for variant in ("poly", "mlut_i", "llut_i"):
         sm = Softmax(variant, costs).setup()
-        res = sm.run(xm, system, virtual_n=n_vector)
+        res = sm.run(xm, system, virtual_n=n_vector, use_batch=batch)
         rows.append(Fig9Row("softmax", f"pim_{variant}", res.total_seconds))
     return rows
 

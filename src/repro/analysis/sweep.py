@@ -14,7 +14,7 @@ measures, exactly as the paper's microbenchmarks do (Section 4.1.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,8 +78,21 @@ def sweep_method(
     setup_model: SetupTimeModel = DEFAULT_SETUP_MODEL,
     extra_params: Optional[Dict[str, int]] = None,
     skip_oversized_wram: bool = True,
+    batch: bool = True,
+    method_cache: Optional[Dict[Tuple, Tuple]] = None,
 ) -> List[SweepPoint]:
-    """Sweep one method's precision parameter and measure every point."""
+    """Sweep one method's precision parameter and measure every point.
+
+    ``batch`` routes the cycle trace through the batched path-classification
+    engine (:mod:`repro.batch`) — bit-identical numbers, one trace per cost
+    path instead of one per sampled element.
+
+    ``method_cache`` (an ordinary dict owned by the caller) reuses built
+    tables and RMSE evaluations across placements: the table contents are
+    placement-independent, only the traced load cost differs, so a cache hit
+    just retargets the method with :meth:`Method.set_placement`.  Callers
+    sharing one cache across calls must pass identical ``inputs``.
+    """
     if inputs is None:
         inputs = default_inputs(function)
     reference = get_function(function).reference(inputs.astype(np.float64))
@@ -89,20 +102,38 @@ def sweep_method(
     for value in param_values:
         params = dict(extra_params or {})
         params[param_name] = value
-        m = make_method(
-            function, method,
-            placement=placement,
-            assume_in_range=assume_in_range,
-            costs=costs,
-            **params,
-        )
-        m.setup()
-        if (placement == "wram" and skip_oversized_wram
-                and m.table_bytes() > WRAM_TABLE_BUDGET):
-            continue  # the paper's WRAM curves stop where tables no longer fit
-        approx = m.evaluate_vec(inputs).astype(np.float64)
+        cache_key = (function, method, assume_in_range,
+                     tuple(sorted(params.items())))
+        cached = None if method_cache is None else method_cache.get(cache_key)
+        if cached is not None:
+            m, approx = cached
+            m.set_placement(placement)
+            if (placement == "wram" and skip_oversized_wram
+                    and m.table_bytes() > WRAM_TABLE_BUDGET):
+                continue
+        else:
+            m = make_method(
+                function, method,
+                placement=placement,
+                assume_in_range=assume_in_range,
+                costs=costs,
+                **params,
+            )
+            planned = m.planned_table_bytes()
+            if (placement == "wram" and skip_oversized_wram
+                    and planned is not None
+                    and planned > WRAM_TABLE_BUDGET):
+                continue  # known oversized before building: skip the build
+            m.setup()
+            if (placement == "wram" and skip_oversized_wram
+                    and m.table_bytes() > WRAM_TABLE_BUDGET):
+                continue  # the paper's WRAM curves stop where tables no longer fit
+            approx = m.evaluate_vec(inputs).astype(np.float64)
+            if method_cache is not None:
+                method_cache[cache_key] = (m, approx)
         result = dpu.run_kernel(
-            m.evaluate, inputs, tasklets=tasklets, sample_size=sample_size
+            m.evaluate, inputs, tasklets=tasklets, sample_size=sample_size,
+            batch=batch,
         )
         points.append(SweepPoint(
             function=function,
@@ -144,14 +175,16 @@ SINE_SWEEPS: Dict[str, dict] = {
 
 
 def sine_sweep(placements: Iterable[str] = ("mram", "wram"),
-               costs: OpCosts = UPMEM_COSTS) -> List[SweepPoint]:
+               costs: OpCosts = UPMEM_COSTS,
+               batch: bool = True) -> List[SweepPoint]:
     """Run the full Figure 5-7 sweep for the sine function."""
     inputs = default_inputs("sin")
     points: List[SweepPoint] = []
+    cache: Dict[tuple, tuple] = {}
     for method, cfg in SINE_SWEEPS.items():
         for placement in placements:
             points.extend(sweep_method(
                 "sin", method, placement=placement, inputs=inputs,
-                costs=costs, **cfg,
+                costs=costs, batch=batch, method_cache=cache, **cfg,
             ))
     return points

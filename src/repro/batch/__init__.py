@@ -1,0 +1,19 @@
+"""Batched traced-execution engine (see :mod:`repro.batch.engine`)."""
+
+from repro.batch.engine import (
+    BatchResult,
+    CostPath,
+    batch_tally,
+    enumerate_paths,
+    scalar_tally,
+    scale_tally_int,
+)
+
+__all__ = [
+    "BatchResult",
+    "CostPath",
+    "batch_tally",
+    "enumerate_paths",
+    "scalar_tally",
+    "scale_tally_int",
+]

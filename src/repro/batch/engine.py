@@ -1,0 +1,141 @@
+"""Batched traced execution: one scalar trace per distinct cost path.
+
+Every kernel in this library is *data-oblivious up to branch direction*: its
+instruction tally depends only on which traced branches fire, never on the
+arithmetic values flowing through them (each ISA op charges a fixed slot
+cost).  A method that can name the branch set an input takes — via
+``Method.classify_paths`` — therefore only needs ONE scalar trace per
+distinct path; every other element on that path charges the bit-identical
+tally.  The aggregate over an array is the exact integer sum
+
+    total = sum over paths of (path_tally * path_count)
+
+with no sampling and no floating-point scaling, and the per-element slots
+array falls out of the same classification for free.
+
+When a method (or a custom kernel) cannot classify, :func:`batch_tally`
+falls back to an element-by-element scalar loop that reuses a single
+:class:`~repro.isa.CycleCounter` — same results, no speedup.  The
+differential harness in ``tests/batch/`` asserts bit-equality of the two
+paths for every registered (function, method) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.counter import CycleCounter, Tally
+
+__all__ = [
+    "CostPath",
+    "BatchResult",
+    "scale_tally_int",
+    "enumerate_paths",
+    "batch_tally",
+    "scalar_tally",
+]
+
+_F32 = np.float32
+
+
+@dataclass(frozen=True)
+class CostPath:
+    """One distinct traced control-flow path through a method."""
+
+    key: int                 # opaque classification key
+    representative: float    # one input that takes this path
+    count: int               # elements of the batch on this path
+    tally: Tally             # traced tally of the representative
+
+
+@dataclass
+class BatchResult:
+    """Aggregate traced cost of a method over an input array."""
+
+    n: int                   # number of elements
+    tally: Tally             # exact aggregate (integer fields)
+    slots: np.ndarray        # per-element instruction slots (int64)
+    paths: List[CostPath]    # distinct paths, by first occurrence
+    batched: bool            # False when the scalar fallback ran
+
+
+def scale_tally_int(tally: Tally, count: int) -> Tally:
+    """``tally`` replicated ``count`` times — exact integer scaling."""
+    scaled = Tally(
+        slots=tally.slots * count,
+        dma_transactions=tally.dma_transactions * count,
+        dma_bytes=tally.dma_bytes * count,
+        dma_latency=tally.dma_latency * count,
+    )
+    scaled.counts = {name: n * count for name, n in tally.counts.items()}
+    return scaled
+
+
+def enumerate_paths(method, xs: np.ndarray,
+                    keys: np.ndarray) -> List[CostPath]:
+    """Trace one representative per distinct key; return the path list."""
+    uniq, first, counts = np.unique(keys, return_index=True,
+                                    return_counts=True)
+    ctx = CycleCounter(method.costs)
+    paths = []
+    for key, idx, count in zip(uniq, first, counts):
+        rep = float(xs[idx])
+        method.evaluate(ctx, rep)
+        paths.append(CostPath(key=int(key), representative=rep,
+                              count=int(count), tally=ctx.reset()))
+    return paths
+
+
+def scalar_tally(method, xs: np.ndarray) -> BatchResult:
+    """Element-by-element traced fallback (one reused CycleCounter)."""
+    ctx = CycleCounter(method.costs)
+    total = Tally()
+    slots = np.empty(xs.size, dtype=np.int64)
+    for i, x in enumerate(xs):
+        method.evaluate(ctx, float(x))
+        tally = ctx.reset()
+        slots[i] = tally.slots
+        total.add(tally)
+    return BatchResult(n=int(xs.size), tally=total, slots=slots,
+                       paths=[], batched=False)
+
+
+def batch_tally(method, xs: np.ndarray, batch: bool = True) -> BatchResult:
+    """Exact aggregate tally of ``method.evaluate`` over ``xs``.
+
+    Classifies the array into cost paths, scalar-traces one representative
+    per path, and sums ``path_tally * path_count`` — bit-identical to
+    tracing every element, at a cost proportional to the number of distinct
+    paths (typically < 10) instead of the array length.  ``batch=False``
+    (or an unclassifiable method) runs the scalar loop instead.
+    """
+    xs = np.asarray(xs, dtype=_F32).ravel()
+    if xs.size == 0:
+        raise ConfigurationError("batch_tally needs at least one input")
+    keys: Optional[np.ndarray] = None
+    if batch:
+        keys = method.classify_paths(xs)
+    if keys is None:
+        return scalar_tally(method, xs)
+
+    uniq, first, inverse, counts = np.unique(
+        keys, return_index=True, return_inverse=True, return_counts=True)
+
+    ctx = CycleCounter(method.costs)
+    total = Tally()
+    paths: List[CostPath] = []
+    path_slots = np.empty(uniq.size, dtype=np.int64)
+    for j, (key, count) in enumerate(zip(uniq, counts)):
+        rep = float(xs[first[j]])
+        method.evaluate(ctx, rep)
+        tally = ctx.reset()
+        path_slots[j] = tally.slots
+        total.add(scale_tally_int(tally, int(count)))
+        paths.append(CostPath(key=int(key), representative=rep,
+                              count=int(count), tally=tally))
+    return BatchResult(n=int(xs.size), tally=total,
+                       slots=path_slots[inverse], paths=paths, batched=True)

@@ -23,18 +23,18 @@ from typing import List, Optional
 import numpy as np
 
 
-def _sweep_points(quick: bool):
+def _sweep_points(quick: bool, batch: bool = True):
     from repro.analysis.figures import fig5_data
     from repro.analysis.sweep import SINE_SWEEPS, default_inputs, sweep_method
     if not quick:
-        return fig5_data()
+        return fig5_data(batch=batch)
     inputs = default_inputs("sin", n=4096)
     points = []
     for method, cfg in SINE_SWEEPS.items():
         cfg = dict(cfg)
         cfg["param_values"] = cfg["param_values"][::2]
         points.extend(sweep_method("sin", method, inputs=inputs,
-                                   sample_size=12, **cfg))
+                                   sample_size=12, batch=batch, **cfg))
     return points
 
 
@@ -44,9 +44,10 @@ def _cmd_fig(args) -> int:
         print(figures.fig8_report(figures.fig8_data()))
         return 0
     if args.command == "fig9":
-        print(figures.fig9_report(figures.fig9_data(trace_elements=2000)))
+        print(figures.fig9_report(figures.fig9_data(
+            trace_elements=2000, batch=not args.no_batch)))
         return 0
-    points = _sweep_points(args.quick)
+    points = _sweep_points(args.quick, batch=not args.no_batch)
     report = {
         "fig5": figures.fig5_report,
         "fig6": figures.fig6_report,
@@ -58,7 +59,7 @@ def _cmd_fig(args) -> int:
 
 def _cmd_pareto(args) -> int:
     from repro.analysis.pareto import frontier_report
-    points = _sweep_points(args.quick)
+    points = _sweep_points(args.quick, batch=not args.no_batch)
     print(frontier_report([p for p in points if p.placement == "mram"]))
     return 0
 
@@ -204,9 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(fig, help=f"regenerate {fig}")
         p.add_argument("--quick", action="store_true",
                        help="coarser sweep for a faster run")
+        p.add_argument("--no-batch", action="store_true",
+                       help="trace every sampled element individually "
+                            "instead of the batched path engine")
         p.set_defaults(func=_cmd_fig)
     for fig in ("fig8", "fig9"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")
+        p.add_argument("--no-batch", action="store_true",
+                       help="disable the batched path engine")
         p.set_defaults(func=_cmd_fig)
 
     p = sub.add_parser("table2", help="print the support matrix")
@@ -214,6 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("pareto", help="Pareto frontier of the sine sweep")
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable the batched path engine")
     p.set_defaults(func=_cmd_pareto)
 
     p = sub.add_parser("validate",

@@ -55,6 +55,13 @@ class GeluViaTanh(Method):
     def table_bytes(self) -> int:
         return self.tanh_method.table_bytes()
 
+    def planned_table_bytes(self):
+        return self.tanh_method.planned_table_bytes()
+
+    def set_placement(self, placement: str) -> None:
+        super().set_placement(placement)
+        self.tanh_method.set_placement(placement)
+
     def host_entries(self) -> int:
         return self.tanh_method.host_entries()
 
@@ -83,3 +90,14 @@ class GeluViaTanh(Method):
         one_plus = (_F32(1.0) + t).astype(_F32)
         half_u = (u * _F32(0.5)).astype(_F32)
         return (half_u * one_plus).astype(_F32)
+
+    def core_path_vec(self, u):
+        # The wrapper arithmetic is branch-free; the cost path is decided
+        # entirely by the inner tanh on the transformed argument.
+        u = np.asarray(u, dtype=_F32)
+        u2 = (u * u).astype(_F32)
+        u3 = (u2 * u).astype(_F32)
+        cubic = (_B * u3).astype(_F32)
+        inner = (u + cubic).astype(_F32)
+        arg = (_A * inner).astype(_F32)
+        return self.tanh_method.core_path_vec(arg)

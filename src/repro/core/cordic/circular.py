@@ -71,6 +71,10 @@ class CordicCircular(Method):
         # Angle table (4 bytes per iteration) plus the gain and 2/pi constants.
         return self.iterations * 4 + 8
 
+    def planned_table_bytes(self) -> int:
+        # Parameter-determined (hybrids included): table_bytes needs no build.
+        return self.table_bytes()
+
     def host_entries(self) -> int:
         return self.iterations
 
@@ -155,3 +159,46 @@ class CordicCircular(Method):
             odd = ((-c).astype(_F32) / s).astype(_F32)
             return np.where(quad & 1 == 0, even, odd).astype(_F32)
         return np.select([quad == 0, quad == 1, quad == 2, quad == 3], choices)
+
+    def _rotate_pos_vec(self, z: np.ndarray) -> np.ndarray:
+        """Per-element count of positive rotation directions.
+
+        The two rotation arms charge the same number of slots but different
+        op *names* (isub on the positive arm, iadd on the negative one), so
+        the counts dict depends on the direction multiset — fully captured
+        by this count.  The z recurrence is pure integer and independent of
+        the float vector, so it vectorizes exactly.
+        """
+        n = np.zeros(z.shape, dtype=np.int64)
+        for i in range(self.iterations):
+            t = int(self._angles[i])
+            pos = z >= 0
+            n += pos
+            z = np.where(pos, z - t, z + t)
+        return n
+
+    def core_path_vec(self, u):
+        # Replicate the scalar Q3.28 pipeline exactly: f2fx (non-finite ->
+        # 0), then the 2/pi fixed multiply.  int64 products wrap mod 2^64,
+        # which commutes with ">> 28 then wrap to 32 bits" (2^36 = 0 mod
+        # 2^32), so the wrapped quadrant/angle match the scalar exact-int
+        # ones whenever |raw| < 2^35 (above that we abstain: the scalar
+        # fx_mul itself overflows QFormat.wrap near 2^35.65).
+        from repro.batch.keys import f2fx_exact_vec, pack_fields, wrap32_vec
+
+        u = np.asarray(u, dtype=_F32)
+        a_f = f2fx_exact_vec(u, _FRAC)
+        if bool(np.any(np.abs(a_f) >= 2.0**35)):
+            return None
+        a = a_f.astype(np.int64)
+        q = wrap32_vec((a * np.int64(_TWO_OVER_PI_RAW)) >> np.int64(_FRAC))
+        quad = (q >> np.int64(_FRAC)) & np.int64(3)
+        z = q & np.int64(_FRAC_MASK)
+        n_pos = self._rotate_pos_vec(z)
+        if self.spec.name == "tan":
+            # tan additionally pays one fneg in odd quadrants; sin/cos
+            # evaluate every tuple item of the quadrant dispatch.
+            parity = (quad & 1).astype(np.int64)
+        else:
+            parity = np.zeros(u.shape, dtype=np.int64)
+        return pack_fields([(parity, 1), (n_pos, 16)])

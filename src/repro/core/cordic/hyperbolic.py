@@ -89,6 +89,9 @@ class CordicHyperbolic(Method):
     def table_bytes(self) -> int:
         return self.iterations * 4 + 8
 
+    def planned_table_bytes(self) -> int:
+        return self.table_bytes()
+
     def host_entries(self) -> int:
         return self.iterations
 
@@ -293,3 +296,84 @@ class CordicHyperbolic(Method):
                 d = (eu - einv) if name == "sinh" else (eu + einv)
                 out[big] = ldexpf_vec(d.astype(_F32), -1)
         return out
+
+    def _rotate_pos_vec(self, z: np.ndarray) -> np.ndarray:
+        """Count of positive rotation directions (decides fadd/fsub and
+        isub/iadd totals; both arms have equal slot cost)."""
+        n = np.zeros(z.shape, dtype=np.int64)
+        for j, _ in enumerate(self._schedule):
+            t = int(self._angles[j])
+            pos = z >= 0
+            n += pos
+            z = np.where(pos, z - t, z + t)
+        return n
+
+    def _vectoring_pos_vec(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Count of positive vectoring directions.
+
+        Vectoring decides on the float y component, so the full float32
+        (x, y) recurrence is replicated bit for bit.  The scalar test is the
+        three-way ``fcmp(y, 0) >= 0`` which sends NaN down the positive arm
+        — hence ``~(y < 0)``, not ``y >= 0``.
+        """
+        n = np.zeros(x.shape, dtype=np.int64)
+        for j, i in enumerate(self._schedule):
+            xs = ldexpf_vec(x, -i)
+            ys = ldexpf_vec(y, -i)
+            pos = ~(y < 0)
+            n += pos
+            x = np.where(pos, (x - ys).astype(_F32), (x + ys).astype(_F32))
+            y = np.where(pos, (y - xs).astype(_F32), (y + xs).astype(_F32))
+        return n
+
+    @staticmethod
+    def _z_raw_vec(w: np.ndarray):
+        """Scalar-faithful ``f2fx(w, _FRAC)`` over an array, or None when a
+        raw word exceeds exact float64 integer range."""
+        from repro.batch.keys import f2fx_exact_vec
+
+        a_f = f2fx_exact_vec(w, _FRAC)
+        if bool(np.any(np.abs(a_f) >= 2.0**52)):
+            return None
+        return a_f.astype(np.int64)
+
+    def core_path_vec(self, u):
+        from repro.batch.keys import pack_fields
+
+        u = np.asarray(u, dtype=_F32)
+        name = self.spec.name
+        if name == "exp":
+            z = self._z_raw_vec(u)
+            if z is None:
+                return None
+            return self._rotate_pos_vec(z)
+
+        if name in ("log", "log2", "log10"):
+            x0 = (u + _F32(1.0)).astype(_F32)
+            y0 = (u - _F32(1.0)).astype(_F32)
+            return self._vectoring_pos_vec(x0, y0)
+
+        if name == "sqrt":
+            x0 = (u + _F32(0.25)).astype(_F32)
+            y0 = (u - _F32(0.25)).astype(_F32)
+            return self._vectoring_pos_vec(x0, y0)
+
+        # sinh/cosh/tanh: one branch picks rotation vs the exp-identity
+        # fallback.  The scalar test is the three-way fcmp(u, B) <= 0, which
+        # sends NaN down the rotation path — hence ~(u > B), not (u <= B).
+        small = ~(u > _F32(ROTATION_BOUND))
+        z_small = self._z_raw_vec(np.where(small, u, _F32(0.0)).astype(_F32))
+        if z_small is None:
+            return None
+        v = ldexpf_vec(u, 1) if name == "tanh" else u
+        f, below = self._exp_reducer.residual_vec(v)
+        z_big = self._z_raw_vec(f)
+        if z_big is None:
+            return None
+        n_pos = np.where(
+            small, self._rotate_pos_vec(z_small), self._rotate_pos_vec(z_big)
+        )
+        below_bit = (below & ~small).astype(np.int64)
+        return pack_fields(
+            [(small.astype(np.int64), 1), (below_bit, 1), (n_pos, 16)]
+        )

@@ -61,6 +61,9 @@ class CordicArctan(Method):
     def table_bytes(self) -> int:
         return self.iterations * 4 + 8
 
+    def planned_table_bytes(self) -> int:
+        return self.table_bytes()
+
     def host_entries(self) -> int:
         return self.iterations
 
@@ -106,3 +109,21 @@ class CordicArctan(Method):
             z = np.where(pos, z + t, z - t)
         rad = (z * _HALF_PI_RAW) >> _FRAC
         return (rad / float(1 << _FRAC)).astype(_F32)
+
+    def core_path_vec(self, u):
+        # Both arms have equal slot cost, but charge iadd vs isub — the op
+        # counts depend on the direction multiset.  Directions are decided
+        # on the float y component, so replicate the float32 recurrence bit
+        # for bit.  Scalar test is the three-way fcmp(y, 0) >= 0, which
+        # sends NaN down the positive arm — hence ~(y < 0).
+        y = np.asarray(u, dtype=_F32)
+        x = np.ones(y.shape, dtype=_F32)
+        n = np.zeros(y.shape, dtype=np.int64)
+        for i in range(self.iterations):
+            xs = ldexpf_vec(x, -i)
+            ys = ldexpf_vec(y, -i)
+            pos = ~(y < 0)
+            n += pos
+            x = np.where(pos, (x + ys).astype(_F32), (x - ys).astype(_F32))
+            y = np.where(pos, (y - xs).astype(_F32), (y + xs).astype(_F32))
+        return n

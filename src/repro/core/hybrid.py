@@ -113,6 +113,20 @@ class HybridCircular(CordicCircular):
             z = np.where(pos, z - t, z + t)
         return x, y
 
+    def _rotate_pos_vec(self, z: np.ndarray) -> np.ndarray:
+        # The table resolves the top lut_bits of the angle; directions are
+        # decided on the masked residual over the remaining iterations.
+        frac = CIRCULAR_ANGLE_FRAC_BITS
+        j = self.lut_bits
+        z = z & ((1 << (frac - j)) - 1)
+        n = np.zeros(z.shape, dtype=np.int64)
+        for i in range(j, self.iterations):
+            t = int(self._angles[i])
+            pos = z >= 0
+            n += pos
+            z = np.where(pos, z - t, z + t)
+        return n
+
 
 class HybridHyperbolic(CordicHyperbolic):
     """CORDIC+LUT for exp/sinh/cosh/tanh: the table covers the rotation's
@@ -155,6 +169,12 @@ class HybridHyperbolic(CordicHyperbolic):
     def table_bytes(self) -> int:
         return self._xtab.size * 8 + len(self._schedule) * 4 + 8
 
+    def planned_table_bytes(self):
+        # The trimmed schedule (and hence the footprint) is computed during
+        # _build; fall back to the post-setup default.
+        from repro.core.method import Method
+        return Method.planned_table_bytes(self)
+
     def host_entries(self) -> int:
         return 2 * int(self._xtab.size) + len(self._schedule)
 
@@ -194,3 +214,17 @@ class HybridHyperbolic(CordicHyperbolic):
             y = np.where(pos_mask, (y + xs).astype(_F32), (y - xs).astype(_F32))
             z = np.where(pos_mask, z - t, z + t)
         return x, y
+
+    def _rotate_pos_vec(self, z: np.ndarray) -> np.ndarray:
+        # Mask off the table-resolved top bits, then count directions over
+        # the trimmed schedule (already shortened by ``_skip`` in _build).
+        frac = HYPERBOLIC_ANGLE_FRAC_BITS
+        j = self.lut_bits
+        z = z & ((1 << (frac - j)) - 1)
+        n = np.zeros(z.shape, dtype=np.int64)
+        for pos, _ in enumerate(self._schedule):
+            t = int(self._angles[pos])
+            is_pos = z >= 0
+            n += is_pos
+            z = np.where(is_pos, z - t, z + t)
+        return n

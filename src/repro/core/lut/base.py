@@ -83,12 +83,16 @@ def build_fixed_table(
     with np.errstate(all="ignore"):
         values = np.asarray(reference(points), dtype=np.float64)
     values = _pad_nonfinite(values)
-    raw = np.round(values * (1 << frac_bits))
+    # Quantize in place: these tables reach 2^22+ entries and a sweep builds
+    # dozens, so the intermediate arrays dominate build time.
+    raw = values * float(1 << frac_bits)
+    np.round(raw, out=raw)
     # Saturate (don't wrap) at the 32-bit storage word: guard entries just
     # past the tabulated interval can exceed it (gelu's open bound at 8.0
     # rounds to exactly 2^31), and a two's-complement wrap would turn them
     # into huge negative table values.
-    return np.clip(raw, -(2 ** 31), 2 ** 31 - 1).astype(np.int64)
+    np.clip(raw, -(2 ** 31), 2 ** 31 - 1, out=raw)
+    return raw.astype(np.int64)
 
 
 class FuzzyLUT(Method):

@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.batch.keys import pack_fields
 from repro.core.functions.registry import FunctionSpec
 from repro.core.lut.base import FuzzyLUT
 from repro.core.lut.dlut import DLUT, DLUTInterpolated
@@ -69,6 +70,18 @@ class _DLLUTBase(FuzzyLUT):
     def table_bytes(self) -> int:
         return self.low.table_bytes() + self.high.table_bytes()
 
+    def planned_table_bytes(self):
+        low = self.low.planned_table_bytes()
+        high = self.high.planned_table_bytes()
+        if low is None or high is None:
+            return None
+        return low + high
+
+    def set_placement(self, placement: str) -> None:
+        super().set_placement(placement)
+        self.low.set_placement(placement)
+        self.high.set_placement(placement)
+
     def host_entries(self) -> int:
         return self.low.entries + self.high.entries
 
@@ -86,6 +99,16 @@ class _DLLUTBase(FuzzyLUT):
             out = out.copy()
             out[below] = self.low.core_eval_vec(u[below])
         return out
+
+    def core_path_vec(self, u):
+        u = np.asarray(u, dtype=_F32)
+        below = u < self.boundary   # fcmp < 0: NaN dispatches high
+        low_key = self.low.core_path_vec(u)
+        high_key = self.high.core_path_vec(u)
+        if low_key is None or high_key is None:
+            return None
+        inner = np.where(below, low_key, high_key)
+        return pack_fields([(below, 1), (inner, 8)])
 
 
 class DLLUT(_DLLUTBase):

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.batch.keys import clamp_zone
 from repro.core.float_bits import EXP_BIAS, MANT_BITS, bits_to_float
 from repro.core.functions.registry import FunctionSpec
 from repro.core.ldexp import ldexpf_vec
@@ -94,6 +95,9 @@ class DLUT(FuzzyLUT):
             self.spec.reference, self.geom.center, self.geom.cells
         )
 
+    def planned_table_bytes(self) -> int:
+        return self.geom.cells * self.ENTRY_BYTES
+
     def core_eval(self, ctx: CycleCounter, u):
         g = self.geom
         bits = ctx.bitcast_f2i(u)
@@ -109,6 +113,13 @@ class DLUT(FuzzyLUT):
         idx = (bits >> g.shift) - g.offset
         idx = np.clip(idx, 0, g.cells - 1)
         return self._table[idx]
+
+    def core_path_vec(self, u):
+        g = self.geom
+        u = np.asarray(u, dtype=_F32)
+        bits = u.view(np.uint32).astype(np.int64)
+        idx = (bits >> g.shift) - g.offset
+        return clamp_zone(idx, g.cells - 1)
 
 
 class DLUTInterpolated(FuzzyLUT):
@@ -136,6 +147,9 @@ class DLUTInterpolated(FuzzyLUT):
             self.spec.reference, self.geom.edge, self.geom.cells + 2
         )
 
+    def planned_table_bytes(self) -> int:
+        return (self.geom.cells + 2) * self.ENTRY_BYTES
+
     def core_eval(self, ctx: CycleCounter, u):
         g = self.geom
         bits = ctx.bitcast_f2i(u)
@@ -162,3 +176,10 @@ class DLUTInterpolated(FuzzyLUT):
         l0 = self._table[idx]
         l1 = self._table[idx + 1]
         return (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)
+
+    def core_path_vec(self, u):
+        g = self.geom
+        u = np.asarray(u, dtype=_F32)
+        bits = u.view(np.uint32).astype(np.int64)
+        idx = (bits >> g.shift) - g.offset
+        return clamp_zone(idx, g.cells)

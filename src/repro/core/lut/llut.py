@@ -26,6 +26,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.batch.keys import (
+    clamp_zone,
+    f2fx_exact_vec,
+    ffloor_index_vec,
+    fround_index_vec,
+    pack_fields,
+    raw_index_clip,
+)
 from repro.core.functions.registry import FunctionSpec
 from repro.core.ldexp import ldexpf_vec
 from repro.core.lut.base import FuzzyLUT, build_fixed_table, build_table
@@ -97,6 +105,9 @@ class LLUT(FuzzyLUT):
             self.spec.reference, self.geom.a_inv, self.geom.entries
         )
 
+    def planned_table_bytes(self) -> int:
+        return self.geom.entries * self.ENTRY_BYTES
+
     def core_eval(self, ctx: CycleCounter, u):
         g = self.geom
         if g.magic_ok:
@@ -133,6 +144,23 @@ class LLUT(FuzzyLUT):
         idx = np.clip(idx, 0, self.entries - 1)
         return self._table[idx]
 
+    def core_path_vec(self, u):
+        g = self.geom
+        u = np.asarray(u, dtype=_F32)
+        if g.magic_ok:
+            t = (u + g.c).astype(_F32)
+            bits = t.view(np.int32).astype(np.int64)
+            b_lo = bits < g.lo_bits
+            b_hi = (~b_lo) & (bits >= g.hi_bits)
+            idx = np.clip(bits, g.lo_bits, g.hi_bits - 1) & _MASK22
+            return pack_fields([
+                (b_lo, 1), (b_hi, 1),
+                (clamp_zone(idx, self.entries - 1), 2),
+            ])
+        v = u if g.p == 0 else (u - _F32(g.p)).astype(_F32)
+        w = ldexpf_vec(v, g.n)
+        return clamp_zone(fround_index_vec(w), self.entries - 1)
+
 
 class LLUTInterpolated(FuzzyLUT):
     """Interpolated L-LUT: one float multiply per lookup (the interpolation).
@@ -159,6 +187,9 @@ class LLUTInterpolated(FuzzyLUT):
         self._table = build_table(
             self.spec.reference, self.geom.a_inv, self.geom.entries
         )
+
+    def planned_table_bytes(self) -> int:
+        return self.geom.entries * self.ENTRY_BYTES
 
     def core_eval(self, ctx: CycleCounter, u):
         g = self.geom
@@ -228,6 +259,33 @@ class LLUTInterpolated(FuzzyLUT):
         l1 = self._table[idx + 1]
         return (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)
 
+    def core_path_vec(self, u):
+        g = self.geom
+        u = np.asarray(u, dtype=_F32)
+        if g.magic_ok:
+            t = (u + g.c).astype(_F32)
+            bits0 = t.view(np.int32).astype(np.int64)
+            b_lo = bits0 < g.lo_bits
+            b_hi = (~b_lo) & (bits0 >= g.hi_bits)
+            bits = np.clip(bits0, g.lo_bits, g.hi_bits - 1)
+            t = bits.astype(np.uint32).view(_F32)
+            uu = np.where(b_lo, _F32(g.p), u)
+            idx = bits & _MASK22
+            grid = (t - g.c).astype(_F32)
+            d = (uu - grid).astype(_F32)
+            delta = ldexpf_vec(d, g.n)
+            neg = delta < 0            # fcmp(delta, 0) < 0: NaN is not-neg
+            idx = idx - neg
+            delta = np.where(neg, (delta + _F32(1.0)).astype(_F32), delta)
+            gt1 = delta > _F32(1.0)    # fcmp(delta, 1) > 0: NaN is not-gt
+            return pack_fields([
+                (b_lo, 1), (b_hi, 1), (neg, 1), (gt1, 1),
+                (clamp_zone(idx, self.entries - 2), 2),
+            ])
+        v = u if g.p == 0 else (u - _F32(g.p)).astype(_F32)
+        w = ldexpf_vec(v, g.n)
+        return clamp_zone(ffloor_index_vec(w), self.entries - 2)
+
 
 class _FixedGeometry:
     """s3.28 grid geometry shared by the fixed-point L-LUT variants."""
@@ -288,6 +346,9 @@ class LLUTFixed(FuzzyLUT):
         )
         self._table = raw.astype(np.int32)
 
+    def planned_table_bytes(self) -> int:
+        return self.geom.entries * self.ENTRY_BYTES
+
     def core_eval_raw(self, ctx: CycleCounter, a: int) -> int:
         """Lookup on an s3.28 raw word, returning an s3.28 raw word.
 
@@ -331,6 +392,20 @@ class LLUTFixed(FuzzyLUT):
         yfx = self.core_eval_raw_vec(a)
         return (yfx / g.fmt.scale).astype(_F32)
 
+    def core_path_vec(self, u):
+        g = self.geom
+        a_f = f2fx_exact_vec(u, g.fmt.frac_bits)
+        a, huge_pos, huge_neg = raw_index_clip(a_f)
+        r = a - g.p_raw
+        if g.shift == 0:
+            idx = r
+        else:
+            idx = (r >> g.shift) + ((r >> (g.shift - 1)) & 1)
+        zone = clamp_zone(idx, self.entries - 1)
+        zone = np.where(huge_neg, np.int64(1), zone)
+        zone = np.where(huge_pos, np.int64(2), zone)
+        return zone
+
 
 class LLUTInterpolatedFixed(FuzzyLUT):
     """Interpolated fixed-point L-LUT: the one multiply is an integer multiply.
@@ -360,6 +435,9 @@ class LLUTInterpolatedFixed(FuzzyLUT):
             self.geom.entries, self.geom.fmt.frac_bits,
         )
         self._table = raw.astype(np.int32)
+
+    def planned_table_bytes(self) -> int:
+        return self.geom.entries * self.ENTRY_BYTES
 
     def core_eval_raw(self, ctx: CycleCounter, a: int) -> int:
         """Interpolated lookup on an s3.28 raw word (fixed in, fixed out)."""
@@ -398,3 +476,13 @@ class LLUTInterpolatedFixed(FuzzyLUT):
         a = np.round(u.astype(np.float64) * g.fmt.scale).astype(np.int64)
         yfx = self.core_eval_raw_vec(a)
         return (yfx / g.fmt.scale).astype(_F32)
+
+    def core_path_vec(self, u):
+        g = self.geom
+        a_f = f2fx_exact_vec(u, g.fmt.frac_bits)
+        a, huge_pos, huge_neg = raw_index_clip(a_f)
+        idx = (a - g.p_raw) >> g.shift
+        zone = clamp_zone(idx, self.entries - 2)
+        zone = np.where(huge_neg, np.int64(1), zone)
+        zone = np.where(huge_pos, np.int64(2), zone)
+        return zone

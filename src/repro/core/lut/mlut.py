@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.batch.keys import clamp_zone, ffloor_index_vec, fround_index_vec
 from repro.core.functions.registry import FunctionSpec
 from repro.core.lut.base import FuzzyLUT, build_table
 from repro.errors import ConfigurationError
@@ -55,6 +56,9 @@ class MLUT(FuzzyLUT):
     def _build(self) -> None:
         self._table = build_table(self.spec.reference, self._a_inv, self.size)
 
+    def planned_table_bytes(self) -> int:
+        return self.size * self.ENTRY_BYTES
+
     # ------------------------------------------------------------------
     # PIM side
 
@@ -72,6 +76,12 @@ class MLUT(FuzzyLUT):
         idx = np.floor(v.astype(np.float64) + 0.5).astype(np.int64)
         idx = np.clip(idx, 0, self.entries - 1)
         return self._table[idx]
+
+    def core_path_vec(self, u):
+        u = np.asarray(u, dtype=_F32)
+        v = u if self.p == 0 else (u - self.p).astype(_F32)
+        v = (v * self.k).astype(_F32)
+        return clamp_zone(fround_index_vec(v), self.entries - 1)
 
 
 class MLUTInterpolated(FuzzyLUT):
@@ -105,6 +115,9 @@ class MLUTInterpolated(FuzzyLUT):
     def _build(self) -> None:
         self._table = build_table(self.spec.reference, self._a_inv, self.size)
 
+    def planned_table_bytes(self) -> int:
+        return self.size * self.ENTRY_BYTES
+
     def core_eval(self, ctx, u):
         v = ctx.fsub(u, self.p) if self.p != 0 else u
         v = ctx.fmul(v, self.k)
@@ -127,3 +140,9 @@ class MLUTInterpolated(FuzzyLUT):
         l0 = self._table[idx]
         l1 = self._table[idx + 1]
         return (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)
+
+    def core_path_vec(self, u):
+        u = np.asarray(u, dtype=_F32)
+        v = u if self.p == 0 else (u - self.p).astype(_F32)
+        v = (v * self.k).astype(_F32)
+        return clamp_zone(ffloor_index_vec(v), self.entries - 2)

@@ -13,6 +13,7 @@ from typing import Type
 
 import numpy as np
 
+from repro.batch.keys import pack_fields
 from repro.core.functions.registry import FunctionSpec, get_function
 from repro.core.lut.base import FuzzyLUT
 from repro.isa.counter import CycleCounter
@@ -54,6 +55,18 @@ class TanQuotientLUT(FuzzyLUT):
     def table_bytes(self) -> int:
         return self.sin_m.table_bytes() + self.cos_m.table_bytes()
 
+    def planned_table_bytes(self):
+        sin_b = self.sin_m.planned_table_bytes()
+        cos_b = self.cos_m.planned_table_bytes()
+        if sin_b is None or cos_b is None:
+            return None
+        return sin_b + cos_b
+
+    def set_placement(self, placement: str) -> None:
+        super().set_placement(placement)
+        self.sin_m.set_placement(placement)
+        self.cos_m.set_placement(placement)
+
     def host_entries(self) -> int:
         return self.sin_m.host_entries() + self.cos_m.host_entries()
 
@@ -66,6 +79,13 @@ class TanQuotientLUT(FuzzyLUT):
         s = self.sin_m.core_eval_vec(u)
         c = self.cos_m.core_eval_vec(u)
         return (np.asarray(s, dtype=_F32) / np.asarray(c, dtype=_F32)).astype(_F32)
+
+    def core_path_vec(self, u):
+        s_key = self.sin_m.core_path_vec(u)
+        c_key = self.cos_m.core_path_vec(u)
+        if s_key is None or c_key is None:
+            return None
+        return pack_fields([(s_key, 12), (c_key, 12)])
 
 
 def make_tan_lut(inner_cls: Type[FuzzyLUT], **params) -> TanQuotientLUT:

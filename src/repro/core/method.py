@@ -19,7 +19,7 @@ Tests assert scalar and vectorized paths agree.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, Optional
+from typing import ClassVar, List, Optional
 
 import numpy as np
 
@@ -94,6 +94,31 @@ class Method(ABC):
             memory.allocate(self.table_bytes(), self._alloc_label())
         return self
 
+    def planned_table_bytes(self) -> Optional[int]:
+        """Predicted :meth:`table_bytes` *without* running :meth:`setup`.
+
+        Lets sweeps skip building tables that cannot fit the target memory
+        (the multi-second 2^22-entry builds dominate benchmark wall-clock).
+        ``None`` means the footprint is only known after building (adaptive
+        segmentation); callers must then build and check ``table_bytes()``.
+        """
+        if self._ready:
+            return self.table_bytes()
+        return None
+
+    def set_placement(self, placement: str) -> None:
+        """Retarget the tables to WRAM or MRAM (composites recurse).
+
+        Placement only affects the traced load costs, so a built method can
+        be re-pointed without rebuilding — sweeps exploit this to build each
+        table once for both placement curves.
+        """
+        if placement not in _PLACEMENTS:
+            raise ConfigurationError(
+                f"placement must be one of {_PLACEMENTS}, got {placement!r}"
+            )
+        self.placement = placement
+
     def _alloc_label(self) -> str:
         return f"{self.method_name}:{self.spec.name}"
 
@@ -135,6 +160,58 @@ class Method(ABC):
         return self.evaluate_vec(x)
 
     # ------------------------------------------------------------------
+    # cost-path classification (the contract behind repro.batch)
+
+    #: Core path keys must fit below this bit position; the reducer key is
+    #: packed above it.
+    CORE_KEY_BITS: ClassVar[int] = 48
+
+    def core_path_vec(self, u: np.ndarray) -> Optional[np.ndarray]:
+        """Cost-path key of :meth:`core_eval` for each (reduced) element.
+
+        Two elements share a key exactly when the traced ``core_eval`` takes
+        the same branches for both — and therefore charges the same
+        instruction tally.  Keys are non-negative int64 below
+        ``2**CORE_KEY_BITS``.  ``None`` (the default) means the method does
+        not classify and ``repro.batch`` falls back to scalar tracing.
+        """
+        return None
+
+    def classify_paths(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """Cost-path key of :meth:`evaluate` (reducer + core) per element.
+
+        Combines the reducer's :meth:`~repro.core.range_reduction.Reducer.path_key_vec`
+        with :meth:`core_path_vec` on the reduced inputs.  Returns ``None``
+        when either layer cannot classify.  Keys are opaque: equal key means
+        bit-identical instruction tally (enforced by the differential harness
+        in ``tests/batch/``).
+        """
+        self._require_ready()
+        x = np.asarray(x, dtype=_F32)
+        rkey = self.reducer.path_key_vec(x)
+        if rkey is None:
+            return None
+        u, _ = self.reducer.reduce_vec(x)
+        ckey = self.core_path_vec(u)
+        if ckey is None:
+            return None
+        return (np.asarray(rkey, dtype=np.int64) << self.CORE_KEY_BITS) | \
+            np.asarray(ckey, dtype=np.int64)
+
+    def cost_paths(self, xs: np.ndarray) -> Optional[List["CostPath"]]:
+        """Enumerate the distinct cost paths present in ``xs``.
+
+        Returns one :class:`~repro.batch.CostPath` (key, representative
+        input, element count, traced tally) per distinct path, or ``None``
+        when this method cannot classify.
+        """
+        from repro.batch import enumerate_paths
+        keys = self.classify_paths(xs)
+        if keys is None:
+            return None
+        return enumerate_paths(self, np.asarray(xs, dtype=_F32), keys)
+
+    # ------------------------------------------------------------------
     # measurement helpers
 
     def element_tally(self, x: float) -> Tally:
@@ -143,15 +220,20 @@ class Method(ABC):
         self.evaluate(ctx, x)
         return ctx.reset()
 
-    def mean_slots(self, xs: np.ndarray) -> float:
-        """Average per-element instruction slots over a sample of inputs."""
+    def mean_slots(self, xs: np.ndarray, batch: bool = True) -> float:
+        """Average per-element instruction slots over a sample of inputs.
+
+        Uses the batched traced-execution engine (one scalar trace per
+        distinct cost path) when the method classifies its paths; otherwise
+        falls back to an element-by-element scalar loop.  Both give the same
+        result bit for bit; ``batch=False`` forces the scalar loop.
+        """
+        from repro.batch import batch_tally
         xs = np.asarray(xs, dtype=_F32)
         if xs.size == 0:
             raise ConfigurationError("mean_slots needs at least one input")
-        total = 0
-        for x in xs:
-            total += self.element_tally(float(x)).slots
-        return total / xs.size
+        result = batch_tally(self, xs, batch=batch)
+        return result.tally.slots / xs.size
 
     # ------------------------------------------------------------------
     # traced table access honoring placement

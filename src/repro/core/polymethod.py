@@ -68,6 +68,9 @@ class MinimaxPolyMethod(Method):
         # Only the coefficient vector lives on the PIM core.
         return (self.degree + 1) * 4
 
+    def planned_table_bytes(self) -> int:
+        return self.table_bytes()
+
     def host_entries(self) -> int:
         # Setup cost is the Remez fit: charge its dense evaluation grid.
         return 4096
@@ -91,3 +94,7 @@ class MinimaxPolyMethod(Method):
         u = np.asarray(u, dtype=_F32)
         t = ((u - self._center).astype(_F32) * self._inv_half).astype(_F32)
         return horner_vec(self._coeffs, t)
+
+    def core_path_vec(self, u):
+        # Horner evaluation is branch-free: constant cost.
+        return np.zeros(np.asarray(u).shape, dtype=np.int64)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +70,19 @@ class Reducer(ABC):
     def reconstruct_vec(self, y: np.ndarray, state: object) -> np.ndarray:
         """Vectorized twin of :meth:`reconstruct`."""
 
+    def path_key_vec(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """Cost-path key of reduce+reconstruct for each element, or ``None``.
+
+        Two inputs share a key exactly when the traced :meth:`reduce` and
+        :meth:`reconstruct` take the same branches for both, so their
+        instruction tallies are identical (see ``repro.batch``).  Keys mirror
+        the *scalar* branch semantics: a traced ``fcmp(a, b) >= 0`` is
+        ``~(a < b)`` here, so NaN inputs classify with the branch the scalar
+        trace actually takes.  ``None`` means this reducer cannot classify
+        and callers must fall back to element-by-element tracing.
+        """
+        return None
+
 
 class IdentityReducer(Reducer):
     """No reduction: inputs are assumed to lie in the natural range already.
@@ -91,6 +104,9 @@ class IdentityReducer(Reducer):
 
     def reconstruct_vec(self, y, state):
         return np.asarray(y, dtype=_F32)
+
+    def path_key_vec(self, x):
+        return np.zeros(np.asarray(x).shape, dtype=np.int64)
 
 
 class PeriodicReducer(Reducer):
@@ -139,6 +155,19 @@ class PeriodicReducer(Reducer):
     def reconstruct_vec(self, y, state):
         return np.asarray(y, dtype=_F32)
 
+    def path_key_vec(self, x):
+        # Replicates the scalar trace: ffloor maps non-finite to 0, and the
+        # second clamp uses fcmp(u, period) >= 0, which is True for NaN.
+        x = np.asarray(x, dtype=_F32)
+        q64 = (x * self.inv_period).astype(_F32).astype(np.float64)
+        kf = np.where(np.isfinite(q64), np.floor(q64), 0.0)
+        whole = (kf.astype(_F32) * self.period).astype(_F32)
+        u = (x - whole).astype(_F32)
+        below = u < 0
+        u = np.where(below, (u + self.period).astype(_F32), u)
+        above = ~(u < self.period)
+        return (below.astype(np.int64) << 1) | above.astype(np.int64)
+
 
 class ExpSplitReducer(Reducer):
     """``e^x = 2^k * e^f`` with ``k = floor(x / ln2)`` and ``f in [0, ln2)``."""
@@ -177,6 +206,26 @@ class ExpSplitReducer(Reducer):
     def reconstruct_vec(self, y, state):
         return ldexpf_vec(np.asarray(y, dtype=_F32), state)
 
+    def residual_vec(self, x):
+        """Scalar-faithful ``(f, below)`` of :meth:`reduce` over an array.
+
+        Unlike :meth:`reduce_vec`, the float64 floor is guarded the way the
+        traced ``ffloor`` is (non-finite -> 0) so the residual matches the
+        scalar trace bit for bit on every input, including inf/NaN.
+        """
+        x = np.asarray(x, dtype=_F32)
+        q64 = (x * self._INV_LN2).astype(_F32).astype(np.float64)
+        kf = np.where(np.isfinite(q64), np.floor(q64), 0.0)
+        whole = (kf.astype(_F32) * self._LN2_F).astype(_F32)
+        f = (x - whole).astype(_F32)
+        below = f < 0
+        f = np.where(below, (f + self._LN2_F).astype(_F32), f).astype(_F32)
+        return f, below
+
+    def path_key_vec(self, x):
+        _, below = self.residual_vec(x)
+        return below.astype(np.int64)
+
 
 class LogSplitReducer(Reducer):
     """``log_b(2^e * m) = e*log_b(2) + log_b(m)`` with ``m in [1, 2)``.
@@ -214,6 +263,10 @@ class LogSplitReducer(Reducer):
         scaled = ef if self._unit else (ef * self.log_b_2).astype(_F32)
         return (np.asarray(y, dtype=_F32) + scaled).astype(_F32)
 
+    def path_key_vec(self, x):
+        # frexp/ldexp/i2f/fmul/fadd: constant cost, a single path.
+        return np.zeros(np.asarray(x).shape, dtype=np.int64)
+
 
 class SqrtSplitReducer(Reducer):
     """``sqrt(2^(2e') * m') = 2^e' * sqrt(m')`` with ``m' in [0.5, 2)``.
@@ -250,6 +303,11 @@ class SqrtSplitReducer(Reducer):
 
     def reconstruct_vec(self, y, state):
         return ldexpf_vec(np.asarray(y, dtype=_F32), state)
+
+    def path_key_vec(self, x):
+        # The odd-exponent arm pays one extra ldexp.
+        _, e = frexpf_vec(np.asarray(x, dtype=_F32))
+        return (np.asarray(e, dtype=np.int64) & 1)
 
 
 class OddSymmetricReducer(Reducer):
@@ -298,7 +356,10 @@ class OddSymmetricReducer(Reducer):
     def reduce_vec(self, x):
         x = np.asarray(x, dtype=_F32)
         negative = x < 0
-        return np.abs(x).astype(_F32), (negative, x)
+        # where(negative, -x, x), not abs: the scalar path keeps -0.0 as is
+        # (fcmp(-0.0, 0) compares equal, so the fabs arm never runs).
+        u = np.where(negative, (-x).astype(_F32), x).astype(_F32)
+        return u, (negative, x)
 
     def reconstruct_vec(self, y, state):
         negative, original = state
@@ -314,6 +375,11 @@ class OddSymmetricReducer(Reducer):
         else:  # gelu
             flipped = (y + original).astype(_F32)
         return np.where(negative, flipped, y).astype(_F32)
+
+    def path_key_vec(self, x):
+        # Negative inputs pay the fabs and the symmetry reconstruction.
+        x = np.asarray(x, dtype=_F32)
+        return (x < 0).astype(np.int64)
 
 
 class RsqrtSplitReducer(SqrtSplitReducer):
@@ -366,7 +432,8 @@ class AtanRecipReducer(Reducer):
     def reduce_vec(self, x):
         x = np.asarray(x, dtype=_F32)
         negative = x < 0
-        u = np.abs(x).astype(_F32)
+        # Sign-faithful fold (see OddSymmetricReducer.reduce_vec on -0.0).
+        u = np.where(negative, (-x).astype(_F32), x).astype(_F32)
         inverted = u > _F32(1.0)
         inv = (_F32(1.0) / np.where(u == 0, _F32(1.0), u)).astype(_F32)
         u = np.where(inverted, inv, u).astype(_F32)
@@ -377,6 +444,12 @@ class AtanRecipReducer(Reducer):
         y = np.asarray(y, dtype=_F32)
         y = np.where(inverted, (self._HALF_PI - y).astype(_F32), y)
         return np.where(negative, (-y).astype(_F32), y).astype(_F32)
+
+    def path_key_vec(self, x):
+        x = np.asarray(x, dtype=_F32)
+        negative = x < 0
+        inverted = np.abs(x).astype(_F32) > _F32(1.0)
+        return (negative.astype(np.int64) << 1) | inverted.astype(np.int64)
 
 
 class EluReflectReducer(Reducer):
@@ -411,6 +484,11 @@ class EluReflectReducer(Reducer):
         negative, original = state
         return np.where(negative, np.asarray(y, dtype=_F32),
                         original).astype(_F32)
+
+    def path_key_vec(self, x):
+        # Both arms charge the same ops; split anyway (over-splitting is safe).
+        x = np.asarray(x, dtype=_F32)
+        return (x < 0).astype(np.int64)
 
 
 _SYMMETRY_KIND = {

@@ -114,6 +114,17 @@ class DPU:
         y = kernel(ctx, np.float32(x))
         return y, ctx.reset()
 
+    @staticmethod
+    def _batchable_method(kernel: Kernel):
+        """The Method behind ``kernel`` if it is a plain bound ``evaluate``."""
+        from repro.core.method import Method
+
+        owner = getattr(kernel, "__self__", None)
+        if isinstance(owner, Method) and \
+                getattr(kernel, "__func__", None) is Method.evaluate:
+            return owner
+        return None
+
     def run_kernel(
         self,
         kernel: Kernel,
@@ -124,6 +135,7 @@ class DPU:
         bytes_out_per_element: int = 4,
         rng: Optional[np.random.Generator] = None,
         virtual_n: Optional[int] = None,
+        batch: bool = True,
     ) -> KernelResult:
         """Simulate running ``kernel`` over ``inputs`` with ``tasklets`` threads.
 
@@ -132,6 +144,15 @@ class DPU:
         extrapolation plus the streaming costs.  Sampling is sound because
         TransPimLib kernels are data-oblivious up to branch direction, and the
         sample preserves the input distribution.
+
+        When ``kernel`` is a :class:`~repro.core.method.Method`'s ``evaluate``
+        and ``batch`` is true, the sample's tally comes from the batched
+        traced-execution engine (``repro.batch``): the sample is classified
+        into cost paths and one representative per path is traced.  The
+        aggregate is bit-identical to the per-element scalar loop (the
+        differential harness in ``tests/batch/`` enforces this), so reported
+        cycle numbers do not change — only the tracing cost drops.
+        ``batch=False`` forces the scalar loop.
 
         ``virtual_n`` treats ``inputs`` as a sample standing in for a larger
         array of that many elements drawn from the same distribution —
@@ -152,12 +173,19 @@ class DPU:
             idx = generator.choice(available, size=sample_size, replace=False)
             sample = inputs[np.sort(idx)]
 
-        sample_tally = Tally()
-        outputs = []
-        for x in sample:
-            y, tally = self.trace_element(kernel, x)
-            sample_tally.add(tally)
-            outputs.append(y)
+        method = self._batchable_method(kernel) if batch else None
+        if method is not None:
+            from repro.batch import batch_tally
+
+            sample_tally = batch_tally(method, sample).tally
+            outputs = method.evaluate_vec(sample)
+        else:
+            sample_tally = Tally()
+            outputs = []
+            for x in sample:
+                y, tally = self.trace_element(kernel, x)
+                sample_tally.add(tally)
+                outputs.append(y)
 
         per_element = _scale_tally(sample_tally, 1.0 / len(sample))
         total = _scale_tally(per_element, float(n))

@@ -79,6 +79,7 @@ class PIMSystem:
         imbalance: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         virtual_n: Optional[int] = None,
+        batch: bool = True,
     ) -> SystemRunResult:
         """Simulate a whole-system run of ``kernel`` over ``inputs``.
 
@@ -114,6 +115,7 @@ class PIMSystem:
             bytes_out_per_element=bytes_out_per_element,
             rng=rng,
             virtual_n=n,
+            batch=batch,
         )
         share = per_core / n * (1.0 + imbalance)
         kernel_seconds = core_result.seconds * share

@@ -416,6 +416,7 @@ class Blackscholes:
         tasklets: int = 16,
         sample_size: int = 48,
         virtual_n: int = None,
+        use_batch: bool = True,
     ) -> SystemRunResult:
         """Simulate the whole-system run over the option batch.
 
@@ -431,4 +432,5 @@ class Blackscholes:
             bytes_in_per_element=BYTES_PER_OPTION,
             bytes_out_per_element=4,
             virtual_n=virtual_n,
+            batch=use_batch,
         )

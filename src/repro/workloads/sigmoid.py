@@ -112,6 +112,7 @@ class Sigmoid:
         tasklets: int = 16,
         sample_size: int = 64,
         virtual_n: int = None,
+        use_batch: bool = True,
     ) -> SystemRunResult:
         """Simulate the whole-system run (``virtual_n`` sizes it up)."""
         self._require_ready()
@@ -123,4 +124,5 @@ class Sigmoid:
             bytes_in_per_element=4,
             bytes_out_per_element=4,
             virtual_n=virtual_n,
+            batch=use_batch,
         )

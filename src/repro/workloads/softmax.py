@@ -176,6 +176,7 @@ class Softmax:
         tasklets: int = 16,
         sample_size: int = 64,
         virtual_n: int = None,
+        use_batch: bool = True,
     ) -> SoftmaxRunResult:
         """Simulate the three-phase whole-system run (``virtual_n`` sizes it up)."""
         self._require_ready()
@@ -185,19 +186,19 @@ class Softmax:
         r_max = system.run(
             self.kernel_max, x, tasklets=tasklets, sample_size=8,
             bytes_in_per_element=4, bytes_out_per_element=0,
-            virtual_n=virtual_n,
+            virtual_n=virtual_n, batch=use_batch,
         )
         r_exp = system.run(
             lambda ctx, v: self.kernel_exp_sum(ctx, v, gmax),
             x, tasklets=tasklets, sample_size=sample_size,
             bytes_in_per_element=4, bytes_out_per_element=4,
             include_transfers=False,  # operands already resident after phase 1
-            virtual_n=virtual_n,
+            virtual_n=virtual_n, batch=use_batch,
         )
         r_scale = system.run(
             self.kernel_scale, x, tasklets=tasklets, sample_size=8,
             bytes_in_per_element=4, bytes_out_per_element=4,
-            virtual_n=virtual_n,
+            virtual_n=virtual_n, batch=use_batch,
         )
         # Host reduces 2545 partial maxima and sums: negligible compute, one
         # small gather each — model as two launch overheads.

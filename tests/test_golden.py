@@ -32,23 +32,54 @@ GOLDEN_SINE = [
 ]
 
 
+#: (function, method, params, exact RMSE over the seeded 2^16 inputs,
+#:  slots at x=1.0) — the sine pins extended across the function families:
+#: exp and log (the reducers' exponent/mantissa splits), tanh (D-LUT entry
+#: point and fixed-point L-LUT), and GELU (direct tabulation).
+GOLDEN_OTHER = [
+    ("exp", "llut_i", {"density_log2": 10}, 1.3420320641307603e-07, 996),
+    ("exp", "cordic", {"iterations": 24}, 2.886290118671918e-07, 5830),
+    ("exp", "mlut", {"size": 4096}, 7.208590306395383e-05, 561),
+    ("log", "llut_i", {"density_log2": 10}, 4.90662656809135e-08, 995),
+    ("log", "cordic", {"iterations": 24}, 2.7844261622943117e-07, 6627),
+    ("tanh", "dlut_i", {"mant_bits": 8}, 2.425724124867243e-07, 695),
+    ("tanh", "cordic", {"iterations": 24}, 5.423243564887795e-08, 6461),
+    ("tanh", "llut_i_fx", {"density_log2": 11}, 1.8022809140069713e-08, 281),
+    ("gelu", "dlut_i", {"mant_bits": 8}, 1.9217859434319067e-07, 695),
+    ("gelu", "mlut_i", {"size": 4097}, 1.11658885183225e-07, 1329),
+]
+
+
 @pytest.fixture(scope="module")
 def inputs():
     return default_inputs("sin")
 
 
+def _assert_golden(function, method, params, rmse, slots, inputs):
+    spec = get_function(function)
+    m = make_method(function, method, **params).setup()
+    rep = measure(m.evaluate_vec, spec.reference, inputs)
+    assert rep.rmse == rmse, (
+        f"{function}/{method} RMSE drifted: {rep.rmse!r} != {rmse!r} — "
+        "semantic change?"
+    )
+    assert m.element_tally(1.0).slots == slots, (
+        f"{function}/{method} cost drifted — cost model or instruction "
+        "sequence changed"
+    )
+
+
 @pytest.mark.parametrize("method,params,rmse,slots", GOLDEN_SINE,
                          ids=[g[0] for g in GOLDEN_SINE])
 def test_golden_sine_configuration(method, params, rmse, slots, inputs):
-    spec = get_function("sin")
-    m = make_method("sin", method, **params).setup()
-    rep = measure(m.evaluate_vec, spec.reference, inputs)
-    assert rep.rmse == rmse, (
-        f"{method} RMSE drifted: {rep.rmse!r} != {rmse!r} — semantic change?"
-    )
-    assert m.element_tally(1.0).slots == slots, (
-        f"{method} cost drifted — cost model or instruction sequence changed"
-    )
+    _assert_golden("sin", method, params, rmse, slots, inputs)
+
+
+@pytest.mark.parametrize("function,method,params,rmse,slots", GOLDEN_OTHER,
+                         ids=[f"{g[0]}-{g[1]}" for g in GOLDEN_OTHER])
+def test_golden_other_functions(function, method, params, rmse, slots):
+    _assert_golden(function, method, params, rmse, slots,
+                   default_inputs(function))
 
 
 def test_golden_blackscholes_price():
