@@ -6,10 +6,8 @@ interpolated L-LUT doubling the float version, and WRAM/MRAM curves
 coinciding.
 """
 
-from repro.analysis.chart import scatter_chart
-from repro.analysis.export import sweep_to_csv, sweep_to_json
-from repro.analysis.figures import fig5_report
 from repro.analysis.sweep import default_inputs, sweep_method
+from repro.obs.bench import fig5_artifact_texts
 
 
 def test_fig5_cycles_vs_rmse(benchmark, sine_points, write_report,
@@ -21,19 +19,13 @@ def test_fig5_cycles_vs_rmse(benchmark, sine_points, write_report,
                             inputs=inputs, sample_size=16)[0]
 
     point = benchmark(measure_one)
-    report = fig5_report(sine_points)
-    series = {}
-    for p in sine_points:
-        if p.placement == "mram":
-            series.setdefault(p.method, []).append(
-                (p.rmse, p.cycles_per_element))
-    chart = scatter_chart(series, x_label="rmse", y_label="cycles/elem")
-    report = report + "\n\n" + chart
+    # The artifact texts come from the same renderer the staleness guard
+    # (repro bench --check-fig5) re-derives, so they cannot drift apart.
+    artifacts = fig5_artifact_texts(sine_points)
     print()
-    print(report)
-    write_report("fig5_cycles.txt", report)
-    write_report("fig5_cycles.json", sweep_to_json(sine_points))
-    write_report("fig5_cycles.csv", sweep_to_csv(sine_points))
+    print(artifacts["fig5_cycles.txt"])
+    for name, text in artifacts.items():
+        write_report(name, text)
 
     # The figure's headline orderings must hold in the regenerated data.
     best = {}

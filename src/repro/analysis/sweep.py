@@ -23,6 +23,8 @@ from repro.core.accuracy import max_abs_error, rmse
 from repro.core.functions.registry import get_function
 from repro.core.setup_model import DEFAULT_SETUP_MODEL, SetupTimeModel
 from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import span as _span
 from repro.pim.dpu import DPU
 
 __all__ = ["SweepPoint", "sweep_method", "SINE_SWEEPS", "default_inputs"]
@@ -105,36 +107,53 @@ def sweep_method(
         cache_key = (function, method, assume_in_range,
                      tuple(sorted(params.items())))
         cached = None if method_cache is None else method_cache.get(cache_key)
-        if cached is not None:
-            m, approx = cached
-            m.set_placement(placement)
-            if (placement == "wram" and skip_oversized_wram
-                    and m.table_bytes() > WRAM_TABLE_BUDGET):
-                continue
-        else:
-            m = make_method(
-                function, method,
-                placement=placement,
-                assume_in_range=assume_in_range,
-                costs=costs,
-                **params,
+        with _span("sweep.point", function=function, method=method,
+                   placement=placement,
+                   param=f"{param_name}={value}") as point_sp:
+            if cached is not None:
+                _metrics.inc("sweep.method_cache.hits")
+                m, approx = cached
+                m.set_placement(placement)
+                if (placement == "wram" and skip_oversized_wram
+                        and m.table_bytes() > WRAM_TABLE_BUDGET):
+                    point_sp.set(skipped="oversized_wram")
+                    continue
+            else:
+                if method_cache is not None:
+                    _metrics.inc("sweep.method_cache.misses")
+                with _span("sweep.build"):
+                    m = make_method(
+                        function, method,
+                        placement=placement,
+                        assume_in_range=assume_in_range,
+                        costs=costs,
+                        **params,
+                    )
+                    planned = m.planned_table_bytes()
+                    if (placement == "wram" and skip_oversized_wram
+                            and planned is not None
+                            and planned > WRAM_TABLE_BUDGET):
+                        # known oversized before building: skip the build
+                        _metrics.inc("sweep.skipped_oversized")
+                        point_sp.set(skipped="oversized_wram")
+                        continue
+                    m.setup()
+                if (placement == "wram" and skip_oversized_wram
+                        and m.table_bytes() > WRAM_TABLE_BUDGET):
+                    # the paper's WRAM curves stop where tables no longer fit
+                    _metrics.inc("sweep.skipped_oversized")
+                    point_sp.set(skipped="oversized_wram")
+                    continue
+                with _span("sweep.rmse"):
+                    approx = m.evaluate_vec(inputs).astype(np.float64)
+                if method_cache is not None:
+                    method_cache[cache_key] = (m, approx)
+            result = dpu.run_kernel(
+                m.evaluate, inputs, tasklets=tasklets,
+                sample_size=sample_size, batch=batch,
             )
-            planned = m.planned_table_bytes()
-            if (placement == "wram" and skip_oversized_wram
-                    and planned is not None
-                    and planned > WRAM_TABLE_BUDGET):
-                continue  # known oversized before building: skip the build
-            m.setup()
-            if (placement == "wram" and skip_oversized_wram
-                    and m.table_bytes() > WRAM_TABLE_BUDGET):
-                continue  # the paper's WRAM curves stop where tables no longer fit
-            approx = m.evaluate_vec(inputs).astype(np.float64)
-            if method_cache is not None:
-                method_cache[cache_key] = (m, approx)
-        result = dpu.run_kernel(
-            m.evaluate, inputs, tasklets=tasklets, sample_size=sample_size,
-            batch=batch,
-        )
+            _metrics.inc("sweep.points")
+            point_sp.set(cycles_per_element=result.cycles_per_element)
         points.append(SweepPoint(
             function=function,
             method=method,

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter, Tally
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "CostPath",
@@ -100,6 +101,8 @@ def scalar_tally(method, xs: np.ndarray) -> BatchResult:
         tally = ctx.reset()
         slots[i] = tally.slots
         total.add(tally)
+    _metrics.inc("batch.scalar_fallbacks")
+    _metrics.inc("batch.elements", int(xs.size))
     return BatchResult(n=int(xs.size), tally=total, slots=slots,
                        paths=[], batched=False)
 
@@ -137,5 +140,15 @@ def batch_tally(method, xs: np.ndarray, batch: bool = True) -> BatchResult:
         total.add(scale_tally_int(tally, int(count)))
         paths.append(CostPath(key=int(key), representative=rep,
                               count=int(count), tally=tally))
+    if _metrics.active_metrics() is not None:
+        # Per-path cycle attribution: hit counts and the exact
+        # path_tally x path_count slot products the aggregate is built of.
+        _metrics.inc("batch.calls")
+        _metrics.inc("batch.elements", int(xs.size))
+        _metrics.inc("batch.paths_traced", len(paths))
+        for p in paths:
+            _metrics.inc(f"batch.path[{p.key}].count", p.count)
+            _metrics.inc(f"batch.path[{p.key}].slots",
+                         p.tally.slots * p.count)
     return BatchResult(n=int(xs.size), tally=total,
                        slots=path_slots[inverse], paths=paths, batched=True)

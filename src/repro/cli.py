@@ -12,6 +12,8 @@ Usage::
     python -m repro recommend FUNCTION [--rmse 1e-6] [--evals N] [--memory B]
     python -m repro breakdown FUNCTION METHOD [knob=value ...]
     python -m repro lint [--json] [--strict] [--passes ast,contracts]
+    python -m repro trace FUNCTION METHOD [knob=value ...] [--json FILE]
+    python -m repro bench [--emit FILE] [--quick] [--check-fig5]
 """
 
 from __future__ import annotations
@@ -176,6 +178,61 @@ def _cmd_lint(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import trace_run
+
+    params = {}
+    for item in args.knobs:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    tracer, registry, result = trace_run(
+        args.function, args.method, n=args.n, tasklets=args.tasklets,
+        params=params,
+    )
+    print(f"traced whole-system run: {args.function}:{args.method} "
+          f"over {result.n_elements} elements "
+          f"({result.n_dpus_used} cores x {result.tasklets} tasklets, "
+          f"{result.total_seconds * 1e3:.3f} ms simulated)")
+    print()
+    print(tracer.tree())
+    print()
+    print("metrics:")
+    print(registry.report())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(tracer.to_chrome_trace(), f, indent=2)
+        print(f"\nChrome trace written to {args.json} "
+              f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import bench_summary, check_fig5_artifacts, emit_bench, \
+        run_bench
+
+    code = 0
+    if args.check_fig5:
+        status = check_fig5_artifacts()
+        for name, state in status.items():
+            print(f"fig5 artifact {name}: {state}")
+        if any(state != "fresh" for state in status.values()):
+            print("stale fig5 artifacts — regenerate with "
+                  "`pytest benchmarks/bench_fig5_cycles.py` or "
+                  "repro.obs.regenerate_fig5_artifacts()", file=sys.stderr)
+            code = 1
+        if not args.emit:
+            return code
+    if args.emit:
+        snapshot = emit_bench(args.emit, quick=args.quick)
+        print(bench_summary(snapshot))
+        print(f"snapshot written to {args.emit}")
+    elif not args.check_fig5:
+        print(bench_summary(run_bench(quick=args.quick)))
+    return code
+
+
 def _cmd_breakdown(args) -> int:
     from repro.analysis.breakdown import breakdown_report
     from repro.api import make_method
@@ -266,6 +323,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also lint kernels in this importable module "
                         "(repeatable)")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("trace",
+                       help="span tree + metrics of one whole-system run")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("knobs", nargs="*", help="precision knobs")
+    p.add_argument("--n", type=int, default=4096,
+                   help="number of input elements")
+    p.add_argument("--tasklets", type=int, default=16)
+    p.add_argument("--json", metavar="FILE",
+                   help="also write Chrome trace-event JSON to FILE")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("bench",
+                       help="emit a schema-versioned perf snapshot "
+                            "(BENCH_*.json)")
+    p.add_argument("--emit", metavar="FILE",
+                   help="write the snapshot JSON to FILE")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller sweeps for a faster run")
+    p.add_argument("--check-fig5", action="store_true",
+                   help="re-derive the fig5 rows and fail if the "
+                        "committed benchmarks/out/ artifacts are stale")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("listing",
                        help="pseudo-assembly listing of one evaluation")

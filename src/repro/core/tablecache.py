@@ -26,6 +26,7 @@ from repro.core.lut.dllut import _DLLUTBase
 from repro.core.lut.tan import TanQuotientLUT
 from repro.core.method import Method
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
 
 __all__ = ["TableCache", "cache_signature"]
 
@@ -95,9 +96,11 @@ class TableCache:
         _check_cacheable(method)
         path = self._path(method)
         if not path.exists():
+            _metrics.inc("tablecache.misses")
             return False
         method._table = np.load(path, allow_pickle=False)
         method._ready = True
+        _metrics.inc("tablecache.hits")
         return True
 
     def setup(self, method: Method) -> Method:

@@ -1,0 +1,58 @@
+"""Observability for the simulator: tracing spans, metrics, bench emission.
+
+Three layers, one discipline — attribute every cycle:
+
+* :mod:`repro.obs.tracer` — nested spans over execution phases
+  (table-build, host->PIM, kernel, PIM->host), exported as Chrome trace
+  JSON or a human tree;
+* :mod:`repro.obs.metrics` — counters/gauges for cost-path hits, cache
+  hits, bytes placed, DMA hiding;
+* :mod:`repro.obs.bench` — ``repro bench --emit`` snapshots
+  (schema-versioned ``BENCH_*.json``) plus the fig5 artifact staleness
+  guard.
+
+Everything is off by default: with no tracer/registry attached, each
+instrumentation site costs one global load and an ``is None`` test.
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    bench_summary,
+    check_fig5_artifacts,
+    emit_bench,
+    fig5_artifact_texts,
+    regenerate_fig5_artifacts,
+    run_bench,
+    trace_run,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    active_metrics,
+    attach_metrics,
+    collecting,
+    detach_metrics,
+    inc,
+    observe,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    active_tracer,
+    attach,
+    detach,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Span", "Tracer", "span", "tracing", "attach", "detach",
+    "active_tracer", "NULL_SPAN", "TRACE_SCHEMA",
+    "MetricsRegistry", "inc", "observe", "collecting",
+    "attach_metrics", "detach_metrics", "active_metrics", "METRICS_SCHEMA",
+    "run_bench", "emit_bench", "trace_run", "BENCH_SCHEMA", "bench_summary",
+    "fig5_artifact_texts", "check_fig5_artifacts",
+    "regenerate_fig5_artifacts",
+]

@@ -1,0 +1,174 @@
+"""Counters and gauges for the simulator's internal machinery.
+
+Where spans (``repro.obs.tracer``) attribute *time*, metrics attribute
+*events and quantities*: cost-path hit counts and per-path cycle products
+from the batch engine, table-cache and method-cache hits, WRAM/MRAM bytes
+placed, the DMA hidden fraction of each kernel run.
+
+A :class:`MetricsRegistry` is attached with :func:`collecting` (or
+``attach_metrics``); instrumented code calls the module-level helpers
+(:func:`inc`, :func:`observe`), which no-op when nothing is attached — the
+same near-zero disabled fast path the tracer uses.
+
+Counters accumulate; gauges record the last observation plus min/max/count
+so repeated observations (e.g. one DMA-hidden-fraction per kernel run)
+still summarize usefully.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge",
+    "inc", "observe", "collecting", "attach_metrics", "detach_metrics",
+    "active_metrics",
+]
+
+#: Version tag embedded in every metrics export.
+METRICS_SCHEMA = "repro-metrics/1"
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically accumulating named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-ready)."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last/min/max/count summary of repeated observations."""
+
+    __slots__ = ("name", "last", "min", "max", "count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.last: Optional[Number] = None
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation, folding it into last/min/max/count."""
+        self.last = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-ready)."""
+        return {"type": "gauge", "last": self.last, "min": self.min,
+                "max": self.max, "count": self.count}
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and gauges, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        """A counter's current value (``default`` when never incremented)."""
+        c = self._counters.get(name)
+        return default if c is None else c.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Whole registry as plain data (JSON-ready), names sorted."""
+        out: Dict[str, Any] = {"schema": METRICS_SCHEMA, "metrics": {}}
+        for name in sorted(set(self._counters) | set(self._gauges)):
+            if name in self._counters:
+                out["metrics"][name] = self._counters[name].to_dict()
+            else:
+                out["metrics"][name] = self._gauges[name].to_dict()
+        return out
+
+    def report(self) -> str:
+        """Human-readable one-line-per-metric summary."""
+        lines = []
+        for name, payload in self.to_dict()["metrics"].items():
+            if payload["type"] == "counter":
+                lines.append(f"{name:<40} {payload['value']}")
+            else:
+                lines.append(f"{name:<40} last={payload['last']} "
+                             f"min={payload['min']} max={payload['max']} "
+                             f"n={payload['count']}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Module-level active registry (the instrumented code's entry point)
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def inc(name: str, n: Number = 1) -> None:
+    """Increment a counter on the attached registry (no-op when detached)."""
+    reg = _ACTIVE
+    if reg is not None:
+        reg.counter(name).inc(n)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record a gauge observation (no-op when detached)."""
+    reg = _ACTIVE
+    if reg is not None:
+        reg.gauge(name).observe(value)
+
+
+def attach_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Make ``registry`` receive all metrics until :func:`detach_metrics`."""
+    global _ACTIVE
+    _ACTIVE = registry
+    return registry
+
+
+def detach_metrics() -> None:
+    """Stop collecting (helpers revert to the no-op fast path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The currently attached registry, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None):
+    """Attach a registry for a ``with`` block; restores the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

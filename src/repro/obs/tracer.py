@@ -1,0 +1,298 @@
+"""Structured tracing: nested spans over the simulator's execution phases.
+
+The paper's evaluation is an exercise in *attribution* — Figures 5-9 break
+every number into setup, transfer, and kernel phases.  This module gives the
+simulator the same discipline: a :class:`Tracer` records a tree of
+:class:`Span` objects (table-build, host->PIM, kernel, PIM->host, reduce...),
+each carrying wall-clock duration plus arbitrary attributes (simulated
+cycles, seconds, slot counts) set by the instrumented code.
+
+Instrumentation sites call :func:`span`, which returns a real span only when
+a tracer is attached; otherwise it returns a shared no-op handle.  The
+disabled path is one module-global load and an ``is None`` test — cheap
+enough to leave in the hot paths permanently (the >=10x batch-throughput
+floor bench in ``benchmarks/`` runs with no tracer attached and pins this).
+
+Exports: Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto)
+and an indented human tree via :meth:`Tracer.tree`.
+
+Example::
+
+    from repro.obs import Tracer, tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        runtime.install(method)(xs)
+    print(tracer.tree())
+    json.dump(tracer.to_chrome_trace(), open("trace.json", "w"))
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span", "Tracer", "NullSpan", "NULL_SPAN",
+    "span", "tracing", "attach", "detach", "active_tracer",
+]
+
+#: Version tag embedded in every exported trace.
+TRACE_SCHEMA = "repro-trace/1"
+
+
+@dataclass
+class Span:
+    """One timed, attributed phase of execution (possibly with children)."""
+
+    name: str
+    start_ns: int
+    end_ns: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (simulated cycles, seconds, counts...)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall-clock nanoseconds (0 while the span is still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (depth-first) with this name, or None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-ready)."""
+        return {
+            "name": self.name,
+            "wall_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class NullSpan:
+    """Shared no-op span handle returned when no tracer is attached."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        """Discard attributes; chainable like the real handle."""
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: The singleton no-op handle; reentrant and stateless.
+NULL_SPAN = NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens a span on a tracer and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._span = Span(name=name, start_ns=time.perf_counter_ns(),
+                          attrs=attrs)
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        self._span.set(**attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._span.end_ns = time.perf_counter_ns()
+        self._tracer._pop(self._span)
+        return None
+
+
+class Tracer:
+    """Collects a forest of nested spans."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a new span nested under the currently-open one."""
+        return _SpanHandle(self, name, attrs)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Close any spans abandoned by an exception below this one, then
+        # the span itself; never corrupt the stack.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span (depth-first across roots) with this name."""
+        for root in self.roots:
+            if root.name == name:
+                return root
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first."""
+        stack = list(reversed(self.roots))
+        while stack:
+            s = stack.pop()
+            yield s
+            stack.extend(reversed(s.children))
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Whole trace as plain data (JSON-ready)."""
+        return {"schema": TRACE_SCHEMA,
+                "spans": [r.to_dict() for r in self.roots]}
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+
+        Spans become complete ('X') events; timestamps are microseconds
+        relative to the first span so the viewer starts at t=0.  Attributes
+        travel in ``args``.
+        """
+        events: List[Dict[str, Any]] = []
+        t0 = min((s.start_ns for s in self.iter_spans()), default=0)
+        for s in self.iter_spans():
+            end = s.end_ns if s.end_ns is not None else s.start_ns
+            events.append({
+                "name": s.name,
+                "ph": "X",
+                "ts": (s.start_ns - t0) / 1000.0,
+                "dur": (end - s.start_ns) / 1000.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"schema": TRACE_SCHEMA}}
+
+    def tree(self, max_attrs: int = 4) -> str:
+        """Indented human-readable view of the span forest."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._render(root, 0, lines, max_attrs)
+        return "\n".join(lines)
+
+    def _render(self, span: Span, depth: int, lines: List[str],
+                max_attrs: int) -> None:
+        shown = list(span.attrs.items())[:max_attrs]
+        attrs = " ".join(f"{k}={_fmt(v)}" for k, v in shown)
+        extra = "" if len(span.attrs) <= max_attrs else " ..."
+        wall = span.duration_ns / 1e6
+        lines.append(f"{'  ' * depth}{span.name:<24} "
+                     f"{wall:9.3f} ms  {attrs}{extra}".rstrip())
+        for child in span.children:
+            self._render(child, depth + 1, lines, max_attrs)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def _jsonable(v: Any):
+    if isinstance(v, (str, bool)) or v is None:
+        return v
+    if isinstance(v, (int, float)):
+        return v
+    try:  # numpy scalars
+        return v.item()
+    except AttributeError:
+        return str(v)
+
+
+# ----------------------------------------------------------------------
+# Module-level active tracer (the instrumented code's entry point)
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the attached tracer, or a shared no-op handle.
+
+    This is the only call instrumented code makes; when no tracer is
+    attached the cost is a global load and an ``is`` test.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def attach(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` receive all spans until :func:`detach`."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def detach() -> None:
+    """Stop tracing (instrumentation reverts to the no-op fast path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The currently attached tracer, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """Attach a tracer for the duration of a ``with`` block.
+
+    Yields the tracer (a fresh one when none is given); restores the
+    previously attached tracer, if any, on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

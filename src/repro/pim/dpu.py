@@ -22,6 +22,8 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.isa.counter import CycleCounter, Tally
 from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import span as _span
 from repro.pim.config import DPUConfig, UPMEM_DPU
 from repro.pim.memory import MemoryRegion
 from repro.pim.pipeline import PipelineModel
@@ -174,25 +176,35 @@ class DPU:
             sample = inputs[np.sort(idx)]
 
         method = self._batchable_method(kernel) if batch else None
-        if method is not None:
-            from repro.batch import batch_tally
+        with _span("dpu.trace", sample_size=len(sample),
+                   batched=method is not None) as trace_sp:
+            if method is not None:
+                from repro.batch import batch_tally
 
-            sample_tally = batch_tally(method, sample).tally
-            outputs = method.evaluate_vec(sample)
-        else:
-            sample_tally = Tally()
-            outputs = []
-            for x in sample:
-                y, tally = self.trace_element(kernel, x)
-                sample_tally.add(tally)
-                outputs.append(y)
+                result = batch_tally(method, sample)
+                sample_tally = result.tally
+                outputs = method.evaluate_vec(sample)
+                trace_sp.set(n_cost_paths=len(result.paths))
+            else:
+                sample_tally = Tally()
+                outputs = []
+                for x in sample:
+                    y, tally = self.trace_element(kernel, x)
+                    sample_tally.add(tally)
+                    outputs.append(y)
 
         per_element = _scale_tally(sample_tally, 1.0 / len(sample))
         total = _scale_tally(per_element, float(n))
         total.add(self._streaming_tally(n, bytes_in_per_element, bytes_out_per_element))
 
-        cycles = self.pipeline.cycles(total, tasklets)
+        estimate = self.pipeline.estimate(total, tasklets)
+        cycles = estimate.total_cycles
         seconds = self.config.cycles_to_seconds(cycles)
+        hidden = estimate.dma_hidden_fraction
+        if hidden is not None:
+            _metrics.observe("dpu.dma_hidden_fraction", hidden)
+        _metrics.inc("dpu.kernel_runs")
+        _metrics.inc("dpu.dma_bytes", total.dma_bytes)
         return KernelResult(
             n_elements=n,
             tasklets=tasklets,

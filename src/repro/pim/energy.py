@@ -17,6 +17,12 @@ the ~2.2x power ratio.  Fixed-point Blackscholes (faster than the CPU) wins
 energy; sigmoid (2x slower) loses it.  The per-byte transfer energy is
 negligible next to softfloat compute — on this platform, avoiding data
 movement buys *time* (bandwidth), not joules.
+
+Compute energy scales with the cores a run actually occupies
+(``SystemRunResult.n_dpus_used``); the paper-scale workloads fill all 2545
+so their numbers are unchanged, but a 100-core run is no longer charged
+2545 cores' power.  ``pim_energy(..., whole_system=True)`` restores the
+always-on-DIMM reading.
 """
 
 from __future__ import annotations
@@ -55,12 +61,26 @@ class EnergyModel:
 
     @property
     def pim_watts(self) -> float:
+        """Whole-system active power (all ``n_dpus`` cores powered)."""
         return self.watts_per_dpu * self.n_dpus
 
     def pim_energy(self, result: SystemRunResult,
-                   bytes_in: int, bytes_out: int) -> EnergyReport:
-        """Energy of a simulated PIM run: kernel power-time + link bytes."""
-        compute = self.pim_watts * result.compute_only_seconds
+                   bytes_in: int, bytes_out: int,
+                   whole_system: bool = False) -> EnergyReport:
+        """Energy of a simulated PIM run: kernel power-time + link bytes.
+
+        Compute energy is charged for the cores the run *used*
+        (``result.n_dpus_used``), not the full 2545 — a run that fills 100
+        cores does not draw the other 2445's active power.  Pass
+        ``whole_system=True`` for the paper's always-on-DIMM reading, where
+        every installed DIMM draws active power for the duration of the
+        kernel regardless of occupancy (DRAM refresh + idle DPU draw,
+        pessimistic for PIM).
+        """
+        n_active = (self.n_dpus if whole_system
+                    else min(result.n_dpus_used, self.n_dpus))
+        compute = (self.watts_per_dpu * n_active
+                   * result.compute_only_seconds)
         transfer = (bytes_in + bytes_out) * self.joules_per_transfer_byte
         return EnergyReport(compute_joules=compute, transfer_joules=transfer)
 

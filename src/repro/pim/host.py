@@ -31,6 +31,8 @@ from repro.analysis.report import format_table
 from repro.core.method import Method
 from repro.core.setup_model import DEFAULT_SETUP_MODEL, SetupTimeModel
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import span as _span
 from repro.pim.system import PIMSystem, SystemRunResult
 
 __all__ = ["PIMRuntime", "InstalledFunction"]
@@ -51,10 +53,14 @@ class InstalledFunction:
     def run(self, x: np.ndarray, tasklets: int = 16,
             virtual_n: Optional[int] = None) -> SystemRunResult:
         """Simulate a whole-system evaluation over ``x``."""
-        return self.runtime.system.run(
-            self.method.evaluate, np.asarray(x, dtype=np.float32),
-            tasklets=tasklets, virtual_n=virtual_n,
-        )
+        with _span("host.run", function=self.name) as sp:
+            result = self.runtime.system.run(
+                self.method.evaluate, np.asarray(x, dtype=np.float32),
+                tasklets=tasklets, virtual_n=virtual_n,
+            )
+            sp.set(sim_seconds=result.total_seconds,
+                   n_elements=result.n_elements)
+        return result
 
     @property
     def name(self) -> str:
@@ -83,14 +89,22 @@ class PIMRuntime:
         """
         region = (self.system.dpu.wram if method.placement == "wram"
                   else self.system.dpu.mram)
-        method.setup(region)
-        fn = InstalledFunction(
-            method=method,
-            runtime=self,
-            setup_seconds=self.setup_model.seconds(
-                method.host_entries(), method.table_bytes()
-            ),
-        )
+        with _span("host.install",
+                   method=f"{method.method_name}:{method.spec.name}") as sp:
+            with _span("table_build") as build_sp:
+                method.setup(region)
+                build_sp.set(table_bytes=method.table_bytes(),
+                             entries=method.host_entries())
+            fn = InstalledFunction(
+                method=method,
+                runtime=self,
+                setup_seconds=self.setup_model.seconds(
+                    method.host_entries(), method.table_bytes()
+                ),
+            )
+            sp.set(sim_seconds=fn.setup_seconds, placement=method.placement)
+            _metrics.inc(f"memory.{region.name.lower()}_bytes",
+                         method.table_bytes())
         if fn.name in self._installed:
             raise ConfigurationError(
                 f"{fn.name} is already installed in this runtime"

@@ -18,6 +18,7 @@ softfloat slots, not DMA beats, dominate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.isa.counter import Tally
@@ -36,10 +37,15 @@ class ExecutionEstimate:
     total_cycles: float
 
     @property
-    def dma_hidden_fraction(self) -> float:
-        """Fraction of DMA latency hidden behind execution (0 when no DMA)."""
+    def dma_hidden_fraction(self) -> Optional[float]:
+        """Fraction of DMA latency hidden behind execution.
+
+        ``None`` when the tally issued no DMA at all — there is nothing to
+        hide, and reporting 0.0 would read as "all latency exposed" in
+        metrics dashboards (vacuously, a no-DMA run is fully hidden).
+        """
         if self.dma_cycles == 0:
-            return 0.0
+            return None
         return 1.0 - self.exposed_dma_cycles / self.dma_cycles
 
 

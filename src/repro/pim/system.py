@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.obs.tracer import span as _span
 from repro.pim.config import SystemConfig, UPMEM_SYSTEM
 from repro.pim.dpu import DPU, Kernel, KernelResult
 
@@ -104,38 +105,64 @@ class PIMSystem:
         per_core = self.elements_per_dpu(n)
         n_used = min(self.config.n_dpus, -(-n // per_core))
 
-        # The representative core traces a sample drawn from the full input
-        # distribution but runs its per-core share of elements.
-        core_result = self.dpu.run_kernel(
-            kernel,
-            inputs,
-            tasklets=tasklets,
-            sample_size=sample_size,
-            bytes_in_per_element=bytes_in_per_element,
-            bytes_out_per_element=bytes_out_per_element,
-            rng=rng,
-            virtual_n=n,
-            batch=batch,
-        )
-        share = per_core / n * (1.0 + imbalance)
-        kernel_seconds = core_result.seconds * share
+        with _span("system.run", n_elements=n, tasklets=tasklets,
+                   n_dpus_used=n_used) as run_sp:
+            with _span("host_to_pim") as h2p_sp:
+                if include_transfers:
+                    h2p = self.config.host_to_pim_seconds(
+                        n * bytes_in_per_element,
+                        balanced=balanced_transfers)
+                else:
+                    h2p = 0.0
+                h2p_sp.set(sim_seconds=h2p,
+                           bytes=n * bytes_in_per_element
+                           if include_transfers else 0)
 
-        if include_transfers:
-            h2p = self.config.host_to_pim_seconds(
-                n * bytes_in_per_element, balanced=balanced_transfers)
-            p2h = self.config.pim_to_host_seconds(
-                n * bytes_out_per_element, balanced=balanced_transfers)
-        else:
-            h2p = 0.0
-            p2h = 0.0
+            # The representative core traces a sample drawn from the full
+            # input distribution but runs its per-core share of elements.
+            with _span("kernel") as k_sp:
+                core_result = self.dpu.run_kernel(
+                    kernel,
+                    inputs,
+                    tasklets=tasklets,
+                    sample_size=sample_size,
+                    bytes_in_per_element=bytes_in_per_element,
+                    bytes_out_per_element=bytes_out_per_element,
+                    rng=rng,
+                    virtual_n=n,
+                    batch=batch,
+                )
+                share = per_core / n * (1.0 + imbalance)
+                kernel_seconds = core_result.seconds * share
+                k_sp.set(sim_seconds=kernel_seconds,
+                         cycles=core_result.cycles * share,
+                         per_dpu_cycles=core_result.cycles,
+                         slots=core_result.total_tally.slots)
 
-        return SystemRunResult(
-            n_elements=n,
-            n_dpus_used=n_used,
-            tasklets=tasklets,
-            kernel_seconds=kernel_seconds,
-            host_to_pim_seconds=h2p,
-            pim_to_host_seconds=p2h,
-            launch_seconds=self.config.launch_overhead_s,
-            per_dpu=core_result,
-        )
+            with _span("pim_to_host") as p2h_sp:
+                if include_transfers:
+                    p2h = self.config.pim_to_host_seconds(
+                        n * bytes_out_per_element,
+                        balanced=balanced_transfers)
+                else:
+                    p2h = 0.0
+                p2h_sp.set(sim_seconds=p2h,
+                           bytes=n * bytes_out_per_element
+                           if include_transfers else 0)
+
+            with _span("launch") as l_sp:
+                launch = self.config.launch_overhead_s
+                l_sp.set(sim_seconds=launch)
+
+            result = SystemRunResult(
+                n_elements=n,
+                n_dpus_used=n_used,
+                tasklets=tasklets,
+                kernel_seconds=kernel_seconds,
+                host_to_pim_seconds=h2p,
+                pim_to_host_seconds=p2h,
+                launch_seconds=launch,
+                per_dpu=core_result,
+            )
+            run_sp.set(sim_seconds=result.total_seconds)
+        return result

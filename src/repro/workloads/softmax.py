@@ -27,6 +27,7 @@ from repro.api import make_method
 from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter
 from repro.isa.opcosts import OpCosts, UPMEM_COSTS
+from repro.obs.tracer import span as _span
 from repro.pim.system import PIMSystem, SystemRunResult
 from repro.workloads import polynomial as poly
 
@@ -183,29 +184,37 @@ class Softmax:
         x = np.asarray(x, dtype=_F32)
         gmax = float(x.max())
 
-        r_max = system.run(
-            self.kernel_max, x, tasklets=tasklets, sample_size=8,
-            bytes_in_per_element=4, bytes_out_per_element=0,
-            virtual_n=virtual_n, batch=use_batch,
-        )
-        r_exp = system.run(
-            lambda ctx, v: self.kernel_exp_sum(ctx, v, gmax),
-            x, tasklets=tasklets, sample_size=sample_size,
-            bytes_in_per_element=4, bytes_out_per_element=4,
-            include_transfers=False,  # operands already resident after phase 1
-            virtual_n=virtual_n, batch=use_batch,
-        )
-        r_scale = system.run(
-            self.kernel_scale, x, tasklets=tasklets, sample_size=8,
-            bytes_in_per_element=4, bytes_out_per_element=4,
-            virtual_n=virtual_n, batch=use_batch,
-        )
-        # Host reduces 2545 partial maxima and sums: negligible compute, one
-        # small gather each — model as two launch overheads.
-        host_reduce = 2.0 * system.config.launch_overhead_s
-        return SoftmaxRunResult(
-            max_phase=r_max,
-            exp_phase=r_exp,
-            scale_phase=r_scale,
-            host_reduce_seconds=host_reduce,
-        )
+        with _span("workload.softmax", variant=self.variant) as sp:
+            with _span("phase.max"):
+                r_max = system.run(
+                    self.kernel_max, x, tasklets=tasklets, sample_size=8,
+                    bytes_in_per_element=4, bytes_out_per_element=0,
+                    virtual_n=virtual_n, batch=use_batch,
+                )
+            with _span("phase.exp_sum"):
+                r_exp = system.run(
+                    lambda ctx, v: self.kernel_exp_sum(ctx, v, gmax),
+                    x, tasklets=tasklets, sample_size=sample_size,
+                    bytes_in_per_element=4, bytes_out_per_element=4,
+                    include_transfers=False,  # operands resident after phase 1
+                    virtual_n=virtual_n, batch=use_batch,
+                )
+            with _span("phase.scale"):
+                r_scale = system.run(
+                    self.kernel_scale, x, tasklets=tasklets, sample_size=8,
+                    bytes_in_per_element=4, bytes_out_per_element=4,
+                    virtual_n=virtual_n, batch=use_batch,
+                )
+            # Host reduces 2545 partial maxima and sums: negligible compute,
+            # one small gather each — model as two launch overheads.
+            with _span("reduce") as red_sp:
+                host_reduce = 2.0 * system.config.launch_overhead_s
+                red_sp.set(sim_seconds=host_reduce)
+            result = SoftmaxRunResult(
+                max_phase=r_max,
+                exp_phase=r_exp,
+                scale_phase=r_scale,
+                host_reduce_seconds=host_reduce,
+            )
+            sp.set(sim_seconds=result.total_seconds)
+        return result

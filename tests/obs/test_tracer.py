@@ -1,0 +1,146 @@
+"""Tests for the span tracer: nesting, export, and the null fast path."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Tracer,
+    active_tracer,
+    attach,
+    detach,
+    span,
+    tracing,
+)
+
+
+class TestSpans:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as sp:
+                sp.set(cycles=42)
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert outer.children[0].name == "inner"
+        assert outer.children[0].attrs == {"cycles": 42}
+
+    def test_siblings(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in tracer.roots[0].children] == ["a", "b"]
+
+    def test_duration_positive(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            sum(range(1000))
+        assert tracer.roots[0].duration_ns > 0
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c") as sp:
+                    sp.set(hit=True)
+        assert tracer.find("c").attrs == {"hit": True}
+        assert tracer.find("nope") is None
+
+    def test_exception_closes_stack(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.current is None
+        assert tracer.roots[0].children[0].end_ns is not None
+
+    def test_iter_spans_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "c"]
+
+
+class TestActiveTracer:
+    def test_span_without_tracer_is_null(self):
+        detach()
+        handle = span("anything", key=1)
+        assert handle is NULL_SPAN
+        with handle as sp:
+            assert sp.set(more=2) is sp  # chainable no-op
+
+    def test_attach_detach(self):
+        tracer = Tracer()
+        attach(tracer)
+        try:
+            assert active_tracer() is tracer
+            with span("root") as sp:
+                sp.set(x=1)
+        finally:
+            detach()
+        assert active_tracer() is None
+        assert tracer.roots[0].attrs == {"x": 1}
+
+    def test_tracing_contextmanager_restores_previous(self):
+        outer = Tracer()
+        with tracing(outer):
+            with tracing() as inner:
+                assert active_tracer() is inner
+                with span("inner-span"):
+                    pass
+            assert active_tracer() is outer
+        assert active_tracer() is None
+        assert inner.roots[0].name == "inner-span"
+        assert outer.roots == []
+
+
+class TestExport:
+    def _populated(self):
+        tracer = Tracer()
+        with tracer.span("run", n=3):
+            with tracer.span("kernel") as sp:
+                sp.set(sim_seconds=0.5, cycles=100)
+        return tracer
+
+    def test_to_dict_schema(self):
+        blob = self._populated().to_dict()
+        assert blob["schema"] == "repro-trace/1"
+        assert blob["spans"][0]["name"] == "run"
+        assert blob["spans"][0]["children"][0]["attrs"]["cycles"] == 100
+
+    def test_chrome_trace_valid_json(self):
+        trace = self._populated().to_chrome_trace()
+        text = json.dumps(trace)  # must be serializable
+        parsed = json.loads(text)
+        events = parsed["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+        kernel = next(e for e in events if e["name"] == "kernel")
+        assert kernel["args"]["sim_seconds"] == 0.5
+
+    def test_chrome_trace_numpy_attrs_jsonable(self):
+        import numpy as np
+        tracer = Tracer()
+        with tracer.span("np") as sp:
+            sp.set(val=np.float32(1.5), count=np.int64(7))
+        text = json.dumps(tracer.to_chrome_trace())
+        args = json.loads(text)["traceEvents"][0]["args"]
+        assert args["val"] == 1.5 and args["count"] == 7
+
+    def test_tree_rendering(self):
+        text = self._populated().tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  kernel")
+        assert "sim_seconds=0.5" in lines[1]

@@ -41,6 +41,38 @@ class TestModel:
         small = EnergyModel(n_dpus=64)
         assert small.pim_watts < DEFAULT_ENERGY_MODEL.pim_watts
 
+    def test_paper_scale_run_uses_all_dpus(self, run_result):
+        # The 10M-element runs of the paper fill all 2545 cores, so the
+        # n_dpus_used scaling leaves their energy numbers unchanged.
+        assert run_result.n_dpus_used == 2545
+        model = DEFAULT_ENERGY_MODEL
+        assert model.pim_energy(run_result, 0, 0).compute_joules == \
+            pytest.approx(model.pim_energy(run_result, 0, 0,
+                                           whole_system=True).compute_joules)
+
+    def test_small_run_charged_only_used_dpus(self):
+        # A run that occupies 100 cores must not pay 2545 cores' power.
+        system = PIMSystem()
+        xs = np.random.default_rng(9).uniform(0, 1, 100).astype(np.float32)
+        res = system.run(identity_kernel, xs)
+        assert res.n_dpus_used == 100
+        model = DEFAULT_ENERGY_MODEL
+        partial = model.pim_energy(res, 400, 400)
+        whole = model.pim_energy(res, 400, 400, whole_system=True)
+        assert partial.compute_joules == pytest.approx(
+            whole.compute_joules * 100 / 2545)
+        assert partial.transfer_joules == whole.transfer_joules
+
+    def test_whole_system_matches_always_on_reading(self):
+        # whole_system=True reproduces the pre-fix always-on-DIMM charge.
+        system = PIMSystem()
+        xs = np.random.default_rng(9).uniform(0, 1, 64).astype(np.float32)
+        res = system.run(identity_kernel, xs)
+        model = DEFAULT_ENERGY_MODEL
+        rep = model.pim_energy(res, 0, 0, whole_system=True)
+        assert rep.compute_joules == pytest.approx(
+            model.pim_watts * res.compute_only_seconds)
+
 
 class TestWorkloadEnergy:
     def test_fixed_blackscholes_wins_energy(self):

@@ -69,6 +69,8 @@ class TestEstimate:
         cycles = [MODEL.cycles(tally, t) for t in range(1, 17)]
         assert all(a >= b for a, b in zip(cycles, cycles[1:]))
 
-    def test_hidden_fraction_no_dma(self):
+    def test_hidden_fraction_no_dma_is_none(self):
+        # No DMA issued: there is nothing to hide, and 0.0 would read as
+        # "all latency exposed" — the metrics layer skips None gauges.
         est = MODEL.estimate(Tally(slots=10), 4)
-        assert est.dma_hidden_fraction == 0.0
+        assert est.dma_hidden_fraction is None

@@ -121,3 +121,98 @@ class TestTransferBalance:
         ser = sys_.run(identity_kernel, xs, virtual_n=10_000_000,
                        balanced_transfers=False)
         assert ser.host_to_pim_seconds > 10 * par.host_to_pim_seconds
+
+
+class TestRunEdgeCases:
+    """Edge cases the span instrumentation walks through (PR 3)."""
+
+    def test_virtual_n_with_small_sample(self, rng):
+        # 32 materialized elements standing in for 10M: the tally is an
+        # extrapolation, the transfers and DPU split reflect the full size.
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 32).astype(np.float32)
+        res = sys_.run(identity_kernel, xs, virtual_n=10_000_000)
+        assert res.n_elements == 10_000_000
+        assert res.n_dpus_used == 2545
+        assert res.per_dpu.n_elements == 10_000_000
+        small = sys_.run(identity_kernel, xs)
+        assert res.kernel_seconds > small.kernel_seconds
+
+    def test_imbalance_interacts_with_n_dpus_used(self, rng):
+        # A straggler slows the launch but does not change how many cores
+        # received work.
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 300).astype(np.float32)
+        even = sys_.run(identity_kernel, xs)
+        skew = sys_.run(identity_kernel, xs, imbalance=0.25)
+        assert even.n_dpus_used == skew.n_dpus_used == 300
+        assert skew.kernel_seconds == pytest.approx(
+            1.25 * even.kernel_seconds, rel=1e-9)
+        assert skew.total_seconds > even.total_seconds
+
+    def test_no_transfers_plus_energy(self, rng):
+        # Figure 1(c) deployment: no transfer seconds, no transfer bytes,
+        # and the energy model charges only the used cores' compute.
+        from repro.pim.energy import DEFAULT_ENERGY_MODEL
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 500).astype(np.float32)
+        res = sys_.run(identity_kernel, xs, include_transfers=False)
+        assert res.host_to_pim_seconds == 0
+        assert res.pim_to_host_seconds == 0
+        assert res.compute_only_seconds == pytest.approx(res.total_seconds)
+        rep = DEFAULT_ENERGY_MODEL.pim_energy(res, 0, 0)
+        assert rep.transfer_joules == 0
+        assert rep.compute_joules == pytest.approx(
+            DEFAULT_ENERGY_MODEL.watts_per_dpu * res.n_dpus_used
+            * res.compute_only_seconds)
+
+
+class TestRunSpanAgreement:
+    """SystemRunResult fields and the span tree must tell the same story."""
+
+    def _traced_run(self, rng, **kwargs):
+        from repro.obs import Tracer, tracing
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 2000).astype(np.float32)
+        with tracing(Tracer()) as tracer:
+            res = sys_.run(identity_kernel, xs, **kwargs)
+        return tracer.find("system.run"), res
+
+    def test_phase_attributions_sum_to_total(self, rng):
+        run_span, res = self._traced_run(rng)
+        by_name = {c.name: c.attrs["sim_seconds"] for c in run_span.children}
+        assert set(by_name) == {"host_to_pim", "kernel", "pim_to_host",
+                                "launch"}
+        total = (by_name["kernel"] + by_name["host_to_pim"]
+                 + by_name["pim_to_host"] + by_name["launch"])
+        assert total == res.total_seconds
+        assert by_name["kernel"] == res.kernel_seconds
+        assert by_name["host_to_pim"] == res.host_to_pim_seconds
+        assert by_name["pim_to_host"] == res.pim_to_host_seconds
+        assert by_name["launch"] == res.launch_seconds
+
+    def test_span_attrs_match_result_fields(self, rng):
+        run_span, res = self._traced_run(rng, virtual_n=1_000_000)
+        assert run_span.attrs["n_elements"] == res.n_elements
+        assert run_span.attrs["n_dpus_used"] == res.n_dpus_used
+        assert run_span.attrs["sim_seconds"] == res.total_seconds
+        kernel = run_span.find("kernel")
+        assert kernel.attrs["per_dpu_cycles"] == res.per_dpu.cycles
+        assert kernel.attrs["slots"] == res.per_dpu.total_tally.slots
+
+    def test_no_transfer_run_attributes_zero_bytes(self, rng):
+        run_span, res = self._traced_run(rng, include_transfers=False)
+        h2p = run_span.find("host_to_pim")
+        assert h2p.attrs["sim_seconds"] == 0.0
+        assert h2p.attrs["bytes"] == 0
+
+    def test_untraced_run_is_identical(self, rng):
+        # The null fast path must not perturb the numbers.
+        sys_ = PIMSystem()
+        xs = rng.uniform(0, 1, 1000).astype(np.float32)
+        from repro.obs import Tracer, tracing
+        plain = sys_.run(identity_kernel, xs)
+        with tracing(Tracer()):
+            traced = sys_.run(identity_kernel, xs)
+        assert traced.total_seconds == plain.total_seconds
+        assert traced.per_dpu.cycles == plain.per_dpu.cycles

@@ -71,6 +71,41 @@ class TestNewCommands:
         assert "error profile" in out
 
 
+class TestObservability:
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(["trace", "sin", "llut_i", "density_log2=10",
+                     "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "system.run" in out and "kernel" in out
+        assert "host.install" in out
+        assert "metrics:" in out and "batch.calls" in out
+
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "trace.json"
+        assert main(["trace", "sin", "llut_i", "density_log2=10",
+                     "--n", "128", "--json", str(path)]) == 0
+        blob = json.loads(path.read_text())
+        assert blob["traceEvents"]
+        assert {"name", "ph", "ts", "dur"} <= set(blob["traceEvents"][0])
+
+    def test_bench_emit_quick(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "BENCH_obs.json"
+        assert main(["bench", "--quick", "--emit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench snapshot" in out
+        blob = json.loads(path.read_text())
+        assert blob["schema"] == "repro-bench/1"
+        assert blob["sections"]["system_phases"]["reconciles"] is True
+
+    def test_trace_and_bench_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert "trace" in sub.choices and "bench" in sub.choices
+
+
 class TestLint:
     def test_clean_tree_exits_zero(self, capsys):
         assert main(["lint"]) == 0
