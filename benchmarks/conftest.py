@@ -27,6 +27,7 @@ BENCH_SEEDS = {
     "library_throughput": 7,
     "ablation_fixed_cordic": 7,
     "sine_sweep": 7,  # conftest's own sine_points fixture
+    "plan_cache": 7,
 }
 
 

@@ -14,7 +14,7 @@ measures, exactly as the paper's microbenchmarks do (Section 4.1.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,9 @@ from repro.core.setup_model import DEFAULT_SETUP_MODEL, SetupTimeModel
 from repro.isa.opcosts import OpCosts, UPMEM_COSTS
 from repro.obs import metrics as _metrics
 from repro.obs.tracer import span as _span
-from repro.pim.dpu import DPU
+from repro.pim.config import SystemConfig
+from repro.pim.system import PIMSystem
+from repro.plan.cache import PlanCache
 
 __all__ = ["SweepPoint", "sweep_method", "SINE_SWEEPS", "default_inputs"]
 
@@ -81,7 +83,7 @@ def sweep_method(
     extra_params: Optional[Dict[str, int]] = None,
     skip_oversized_wram: bool = True,
     batch: bool = True,
-    method_cache: Optional[Dict[Tuple, Tuple]] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> List[SweepPoint]:
     """Sweep one method's precision parameter and measure every point.
 
@@ -89,69 +91,62 @@ def sweep_method(
     engine (:mod:`repro.batch`) — bit-identical numbers, one trace per cost
     path instead of one per sampled element.
 
-    ``method_cache`` (an ordinary dict owned by the caller) reuses built
-    tables and RMSE evaluations across placements: the table contents are
-    placement-independent, only the traced load cost differs, so a cache hit
-    just retargets the method with :meth:`Method.set_placement`.  Callers
-    sharing one cache across calls must pass identical ``inputs``.
+    Every point compiles through a :class:`~repro.plan.cache.PlanCache`
+    (``plan_cache`` when given, a sweep-local one otherwise).  The cache's
+    method pool reuses built tables and RMSE evaluations across placements
+    and calls: table contents are placement-independent, only the traced
+    load cost differs, so a pool hit retargets the method with
+    :meth:`Method.set_placement` instead of rebuilding.  Callers sharing
+    one cache across calls must pass identical ``inputs``.
     """
     if inputs is None:
         inputs = default_inputs(function)
     reference = get_function(function).reference(inputs.astype(np.float64))
 
-    dpu = DPU(costs=costs)
+    cache = plan_cache if plan_cache is not None else PlanCache(maxsize=256)
+    # One representative core: sweeps measure per-element cycles, so the
+    # rest of the system (DPU count, host links) never enters the numbers.
+    system = PIMSystem(SystemConfig(n_dpus=1), costs)
     points: List[SweepPoint] = []
     for value in param_values:
         params = dict(extra_params or {})
         params[param_name] = value
-        cache_key = (function, method, assume_in_range,
-                     tuple(sorted(params.items())))
-        cached = None if method_cache is None else method_cache.get(cache_key)
         with _span("sweep.point", function=function, method=method,
                    placement=placement,
                    param=f"{param_name}={value}") as point_sp:
-            if cached is not None:
-                _metrics.inc("sweep.method_cache.hits")
-                m, approx = cached
-                m.set_placement(placement)
+            with _span("sweep.build"):
+                m = make_method(
+                    function, method,
+                    placement=placement,
+                    assume_in_range=assume_in_range,
+                    costs=costs,
+                    **params,
+                )
+                planned = m.planned_table_bytes()
                 if (placement == "wram" and skip_oversized_wram
-                        and m.table_bytes() > WRAM_TABLE_BUDGET):
-                    point_sp.set(skipped="oversized_wram")
-                    continue
-            else:
-                if method_cache is not None:
-                    _metrics.inc("sweep.method_cache.misses")
-                with _span("sweep.build"):
-                    m = make_method(
-                        function, method,
-                        placement=placement,
-                        assume_in_range=assume_in_range,
-                        costs=costs,
-                        **params,
-                    )
-                    planned = m.planned_table_bytes()
-                    if (placement == "wram" and skip_oversized_wram
-                            and planned is not None
-                            and planned > WRAM_TABLE_BUDGET):
-                        # known oversized before building: skip the build
-                        _metrics.inc("sweep.skipped_oversized")
-                        point_sp.set(skipped="oversized_wram")
-                        continue
-                    m.setup()
-                if (placement == "wram" and skip_oversized_wram
-                        and m.table_bytes() > WRAM_TABLE_BUDGET):
-                    # the paper's WRAM curves stop where tables no longer fit
+                        and planned is not None
+                        and planned > WRAM_TABLE_BUDGET):
+                    # known oversized before building: skip the build
                     _metrics.inc("sweep.skipped_oversized")
                     point_sp.set(skipped="oversized_wram")
                     continue
+                # Compile (pool hit: an equivalent built table — any
+                # placement — is retargeted; miss: the table builds here).
+                plan = cache.plan(system, m, tasklets=tasklets,
+                                  sample_size=sample_size)
+                m = plan.method
+            if (placement == "wram" and skip_oversized_wram
+                    and plan.table_bytes > WRAM_TABLE_BUDGET):
+                # the paper's WRAM curves stop where tables no longer fit
+                _metrics.inc("sweep.skipped_oversized")
+                point_sp.set(skipped="oversized_wram")
+                continue
+            approx = plan.memo.get("sweep_rmse_approx")
+            if approx is None:
                 with _span("sweep.rmse"):
-                    approx = m.evaluate_vec(inputs).astype(np.float64)
-                if method_cache is not None:
-                    method_cache[cache_key] = (m, approx)
-            result = dpu.run_kernel(
-                m.evaluate, inputs, tasklets=tasklets,
-                sample_size=sample_size, batch=batch,
-            )
+                    approx = plan.values(inputs).astype(np.float64)
+                plan.memo["sweep_rmse_approx"] = approx
+            result = plan.execute(inputs, batch=batch).per_dpu
             _metrics.inc("sweep.points")
             point_sp.set(cycles_per_element=result.cycles_per_element)
         points.append(SweepPoint(
@@ -199,11 +194,11 @@ def sine_sweep(placements: Iterable[str] = ("mram", "wram"),
     """Run the full Figure 5-7 sweep for the sine function."""
     inputs = default_inputs("sin")
     points: List[SweepPoint] = []
-    cache: Dict[tuple, tuple] = {}
+    cache = PlanCache(maxsize=256)
     for method, cfg in SINE_SWEEPS.items():
         for placement in placements:
             points.extend(sweep_method(
                 "sin", method, placement=placement, inputs=inputs,
-                costs=costs, batch=batch, method_cache=cache, **cfg,
+                costs=costs, batch=batch, plan_cache=cache, **cfg,
             ))
     return points

@@ -23,7 +23,7 @@ paths for every registered (function, method) pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -107,7 +107,8 @@ def scalar_tally(method, xs: np.ndarray) -> BatchResult:
                        paths=[], batched=False)
 
 
-def batch_tally(method, xs: np.ndarray, batch: bool = True) -> BatchResult:
+def batch_tally(method, xs: np.ndarray, batch: bool = True,
+                tally_cache: Optional[Dict[int, Tally]] = None) -> BatchResult:
     """Exact aggregate tally of ``method.evaluate`` over ``xs``.
 
     Classifies the array into cost paths, scalar-traces one representative
@@ -115,6 +116,12 @@ def batch_tally(method, xs: np.ndarray, batch: bool = True) -> BatchResult:
     tracing every element, at a cost proportional to the number of distinct
     paths (typically < 10) instead of the array length.  ``batch=False``
     (or an unclassifiable method) runs the scalar loop instead.
+
+    ``tally_cache`` maps path key -> traced Tally across calls (an
+    :class:`~repro.plan.plan.ExecutionPlan` owns one per compiled method):
+    equal key implies a bit-identical tally — the invariant the batch
+    differential harness enforces — so cache hits skip scalar tracing
+    entirely without changing any reported number.
     """
     xs = np.asarray(xs, dtype=_F32).ravel()
     if xs.size == 0:
@@ -132,10 +139,19 @@ def batch_tally(method, xs: np.ndarray, batch: bool = True) -> BatchResult:
     total = Tally()
     paths: List[CostPath] = []
     path_slots = np.empty(uniq.size, dtype=np.int64)
+    traced = 0
     for j, (key, count) in enumerate(zip(uniq, counts)):
         rep = float(xs[first[j]])
-        method.evaluate(ctx, rep)
-        tally = ctx.reset()
+        tally = None if tally_cache is None else tally_cache.get(int(key))
+        if tally is None:
+            method.evaluate(ctx, rep)
+            tally = ctx.reset()
+            traced += 1
+            if tally_cache is not None:
+                tally_cache[int(key)] = tally
+                _metrics.inc("batch.tally_cache.misses")
+        else:
+            _metrics.inc("batch.tally_cache.hits")
         path_slots[j] = tally.slots
         total.add(scale_tally_int(tally, int(count)))
         paths.append(CostPath(key=int(key), representative=rep,
@@ -145,7 +161,7 @@ def batch_tally(method, xs: np.ndarray, batch: bool = True) -> BatchResult:
         # path_tally x path_count slot products the aggregate is built of.
         _metrics.inc("batch.calls")
         _metrics.inc("batch.elements", int(xs.size))
-        _metrics.inc("batch.paths_traced", len(paths))
+        _metrics.inc("batch.paths_traced", traced)
         for p in paths:
             _metrics.inc(f"batch.path[{p.key}].count", p.count)
             _metrics.inc(f"batch.path[{p.key}].slots",

@@ -14,6 +14,8 @@ Usage::
     python -m repro lint [--json] [--strict] [--passes ast,contracts]
     python -m repro trace FUNCTION METHOD [knob=value ...] [--json FILE]
     python -m repro bench [--emit FILE] [--quick] [--check-fig5]
+    python -m repro plan FUNCTION METHOD [knob=value ...] [--n N --shards S]
+    python -m repro run FUNCTION METHOD [--n N --repeat R --shards S --overlap]
 """
 
 from __future__ import annotations
@@ -233,6 +235,64 @@ def _cmd_bench(args) -> int:
     return code
 
 
+def _parse_knobs(items) -> dict:
+    params = {}
+    for item in items:
+        key, _, value = item.partition("=")
+        params[key] = int(value)
+    return params
+
+
+def _cmd_plan(args) -> int:
+    from repro.api import make_method
+    from repro.pim.system import PIMSystem
+    from repro.plan.cache import PlanCache
+
+    m = make_method(args.function, args.method, assume_in_range=False,
+                    placement=args.placement, **_parse_knobs(args.knobs))
+    cache = PlanCache()
+    plan = cache.plan(PIMSystem(), m, tasklets=args.tasklets)
+    print(plan.describe(n_elements=args.n, shards=args.shards))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.report import format_table
+    from repro.api import make_method
+    from repro.core.functions.registry import get_function
+    from repro.pim.system import PIMSystem
+    from repro.plan.cache import PlanCache
+    from repro.plan.dispatch import execute_sharded
+
+    m = make_method(args.function, args.method, assume_in_range=False,
+                    placement=args.placement, **_parse_knobs(args.knobs))
+    lo, hi = get_function(args.function).bench_domain
+    xs = np.random.default_rng(0).uniform(lo, hi, args.n).astype(np.float32)
+
+    system = PIMSystem()
+    cache = PlanCache()
+    plan = cache.plan(system, m, tasklets=args.tasklets)
+    rows = []
+    for i in range(args.repeat):
+        if args.shards > 1:
+            r = execute_sharded(plan, xs, n_shards=args.shards,
+                                overlap=args.overlap)
+            extra = (f"{r.n_shards} shards"
+                     + (f", saved {r.overlap_saving_seconds * 1e3:.3f} ms"
+                        if args.overlap else ""))
+        else:
+            r = plan.execute(xs)
+            extra = ""
+        rows.append((i, f"{r.total_seconds * 1e3:.3f} ms",
+                     f"{r.kernel_seconds * 1e3:.3f} ms",
+                     r.n_dpus_used, extra))
+    print(f"{args.function}:{args.method} over {args.n} elements, "
+          f"{args.repeat} launch(es) on one compiled plan "
+          f"({len(plan.tally_cache)} cached cost paths)")
+    print(format_table(["launch", "total", "kernel", "dpus", "notes"], rows))
+    return 0
+
+
 def _cmd_breakdown(args) -> int:
     from repro.analysis.breakdown import breakdown_report
     from repro.api import make_method
@@ -347,6 +407,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-derive the fig5 rows and fail if the "
                         "committed benchmarks/out/ artifacts are stale")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("plan",
+                       help="compile and describe an execution plan")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("knobs", nargs="*", help="precision knobs")
+    p.add_argument("--placement", choices=("mram", "wram"), default="mram")
+    p.add_argument("--tasklets", type=int, default=16)
+    p.add_argument("--n", type=int, default=None,
+                   help="also show the shard split for N elements")
+    p.add_argument("--shards", type=int, default=1)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("run",
+                       help="repeated launches through one compiled plan")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("knobs", nargs="*", help="precision knobs")
+    p.add_argument("--placement", choices=("mram", "wram"), default="mram")
+    p.add_argument("--n", type=int, default=1 << 16,
+                   help="number of input elements")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="how many launches to run on the plan")
+    p.add_argument("--tasklets", type=int, default=16)
+    p.add_argument("--shards", type=int, default=1,
+                   help="dispatch across this many disjoint DPU groups")
+    p.add_argument("--overlap", action="store_true",
+                   help="double-buffer: overlap transfers across shards")
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("listing",
                        help="pseudo-assembly listing of one evaluation")

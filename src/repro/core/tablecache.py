@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import hashlib
 import pathlib
-from typing import Union
+from collections import OrderedDict
+from typing import Optional, Union
 
 import numpy as np
 
@@ -64,14 +65,49 @@ def _check_cacheable(method: Method) -> None:
 
 
 class TableCache:
-    """A directory of ``.npy`` tables keyed by method geometry."""
+    """A directory of ``.npy`` tables keyed by method geometry.
 
-    def __init__(self, directory: Union[str, pathlib.Path]):
+    ``max_bytes`` bounds the directory's total size: when a store would
+    exceed it, least-recently-used entries (loads and stores both refresh
+    recency) are deleted until the new table fits.  The entry being stored
+    is never evicted, even when it alone exceeds the bound.  Hit, miss,
+    store, and eviction counts surface as attributes and through
+    ``repro.obs.metrics`` (``tablecache.*``).
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError("TableCache max_bytes must be positive")
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        # LRU over cached files, oldest first.  Pre-existing files (another
+        # process's run, or a re-opened cache) enter in mtime order so the
+        # bound applies to them too.
+        self._lru: "OrderedDict[str, int]" = OrderedDict()
+        for f in sorted(self.directory.glob("*.npy"),
+                        key=lambda p: p.stat().st_mtime):
+            self._lru[f.stem] = f.stat().st_size
 
     def _path(self, method: Method) -> pathlib.Path:
         return self.directory / f"{cache_signature(method)}.npy"
+
+    def _touch(self, key: str, size: int) -> None:
+        self._lru[key] = size
+        self._lru.move_to_end(key)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total size of every cached table file."""
+        return sum(self._lru.values())
+
+    def __len__(self) -> int:
+        return len(self._lru)
 
     def contains(self, method: Method) -> bool:
         """True when a table for this exact geometry is cached."""
@@ -79,12 +115,21 @@ class TableCache:
         return self._path(method).exists()
 
     def store(self, method: Method) -> pathlib.Path:
-        """Persist a set-up method's table; returns the file path."""
+        """Persist a set-up method's table; returns the file path.
+
+        Evicts least-recently-used entries first if the bound would
+        overflow.
+        """
         _check_cacheable(method)
         if not getattr(method, "_ready", False):
             raise ConfigurationError("set up the method before caching it")
         path = self._path(method)
         np.save(path, method._table, allow_pickle=False)
+        self._touch(path.stem, path.stat().st_size)
+        self.stores += 1
+        _metrics.inc("tablecache.stores")
+        self._evict(keep=path.stem)
+        _metrics.observe("tablecache.bytes", self.total_bytes)
         return path
 
     def load_into(self, method: Method) -> bool:
@@ -96,10 +141,13 @@ class TableCache:
         _check_cacheable(method)
         path = self._path(method)
         if not path.exists():
+            self.misses += 1
             _metrics.inc("tablecache.misses")
             return False
         method._table = np.load(path, allow_pickle=False)
         method._ready = True
+        self._touch(path.stem, path.stat().st_size)
+        self.hits += 1
         _metrics.inc("tablecache.hits")
         return True
 
@@ -110,9 +158,25 @@ class TableCache:
             self.store(method)
         return method
 
+    def _evict(self, keep: str) -> None:
+        if self.max_bytes is None:
+            return
+        while self.total_bytes > self.max_bytes and len(self._lru) > 1:
+            # The just-stored entry was touched to the recent end, so the
+            # oldest key is never ``keep`` while anything else remains.
+            key = next(iter(self._lru))
+            assert key != keep
+            self._lru.pop(key)
+            f = self.directory / f"{key}.npy"
+            if f.exists():
+                f.unlink()
+            self.evictions += 1
+            _metrics.inc("tablecache.evictions")
+
     def clear(self) -> int:
         """Delete every cached table; returns how many were removed."""
         files = list(self.directory.glob("*.npy"))
         for f in files:
             f.unlink()
+        self._lru.clear()
         return len(files)

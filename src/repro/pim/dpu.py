@@ -138,6 +138,7 @@ class DPU:
         rng: Optional[np.random.Generator] = None,
         virtual_n: Optional[int] = None,
         batch: bool = True,
+        tally_cache: Optional[dict] = None,
     ) -> KernelResult:
         """Simulate running ``kernel`` over ``inputs`` with ``tasklets`` threads.
 
@@ -159,6 +160,10 @@ class DPU:
         ``virtual_n`` treats ``inputs`` as a sample standing in for a larger
         array of that many elements drawn from the same distribution —
         tracing cost is bounded while timing reflects the full size.
+
+        ``tally_cache`` is a path-key -> Tally dict handed to the batch
+        engine so repeated launches (an ExecutionPlan's steady state) skip
+        scalar tracing for already-seen cost paths.
         """
         inputs = np.asarray(inputs, dtype=np.float32)
         # 1-D arrays are streams of scalars; 2-D arrays are streams of
@@ -181,7 +186,8 @@ class DPU:
             if method is not None:
                 from repro.batch import batch_tally
 
-                result = batch_tally(method, sample)
+                result = batch_tally(method, sample,
+                                     tally_cache=tally_cache)
                 sample_tally = result.tally
                 outputs = method.evaluate_vec(sample)
                 trace_sp.set(n_cost_paths=len(result.paths))

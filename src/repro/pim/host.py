@@ -51,13 +51,27 @@ class InstalledFunction:
         return self.method.evaluate_vec(np.asarray(x, dtype=np.float32))
 
     def run(self, x: np.ndarray, tasklets: int = 16,
-            virtual_n: Optional[int] = None) -> SystemRunResult:
-        """Simulate a whole-system evaluation over ``x``."""
+            virtual_n: Optional[int] = None, shards: int = 1,
+            overlap: bool = False):
+        """Simulate a whole-system evaluation over ``x``.
+
+        Launches go through the runtime's plan cache, so repeated calls are
+        PlanCache-warm (no table rebuild, no re-tracing of seen cost paths)
+        yet return numbers bit-identical to ``PIMSystem.run``.
+        ``shards``/``overlap`` dispatch across disjoint DPU groups and
+        return a :class:`~repro.plan.dispatch.ShardedRunResult` instead.
+        """
         with _span("host.run", function=self.name) as sp:
-            result = self.runtime.system.run(
-                self.method.evaluate, np.asarray(x, dtype=np.float32),
-                tasklets=tasklets, virtual_n=virtual_n,
-            )
+            plan = self.runtime.plan(self.name, tasklets=tasklets)
+            x = np.asarray(x, dtype=np.float32)
+            if shards > 1:
+                from repro.plan.dispatch import execute_sharded
+                result = execute_sharded(plan, x, n_shards=shards,
+                                         overlap=overlap,
+                                         virtual_n=virtual_n)
+            else:
+                result = plan.execute(x, virtual_n=virtual_n,
+                                      span_name="system.run")
             sp.set(sim_seconds=result.total_seconds,
                    n_elements=result.n_elements)
         return result
@@ -79,6 +93,7 @@ class PIMRuntime:
         self.system = system or PIMSystem()
         self.setup_model = setup_model
         self._installed: Dict[str, InstalledFunction] = {}
+        self._plans = None  # lazily-created PlanCache
 
     def install(self, method: Method) -> InstalledFunction:
         """Set up ``method`` and place its tables in the cores' memory.
@@ -87,10 +102,17 @@ class PIMRuntime:
         longer fit the chosen region (every installed function shares the
         per-core WRAM/MRAM with everything installed before it).
         """
+        # Validate the name before touching the cores: a rejected install
+        # must not leave tables allocated in every core's region (or bump
+        # the memory gauges) for a function the runtime refuses to own.
+        name = f"{method.method_name}:{method.spec.name}"
+        if name in self._installed:
+            raise ConfigurationError(
+                f"{name} is already installed in this runtime"
+            )
         region = (self.system.dpu.wram if method.placement == "wram"
                   else self.system.dpu.mram)
-        with _span("host.install",
-                   method=f"{method.method_name}:{method.spec.name}") as sp:
+        with _span("host.install", method=name) as sp:
             with _span("table_build") as build_sp:
                 method.setup(region)
                 build_sp.set(table_bytes=method.table_bytes(),
@@ -105,12 +127,26 @@ class PIMRuntime:
             sp.set(sim_seconds=fn.setup_seconds, placement=method.placement)
             _metrics.inc(f"memory.{region.name.lower()}_bytes",
                          method.table_bytes())
-        if fn.name in self._installed:
-            raise ConfigurationError(
-                f"{fn.name} is already installed in this runtime"
-            )
         self._installed[fn.name] = fn
         return fn
+
+    @property
+    def plan_cache(self):
+        """The runtime's PlanCache (created on first use)."""
+        if self._plans is None:
+            from repro.plan.cache import PlanCache
+            self._plans = PlanCache()
+        return self._plans
+
+    def plan(self, name: str, *, tasklets: int = 16, sample_size: int = 64,
+             transfers=None):
+        """Compiled :class:`~repro.plan.plan.ExecutionPlan` for an
+        installed function, cached across calls."""
+        fn = self[name]
+        return self.plan_cache.plan(
+            self.system, fn.method, tasklets=tasklets,
+            sample_size=sample_size, transfers=transfers,
+        )
 
     def __getitem__(self, name: str) -> InstalledFunction:
         try:

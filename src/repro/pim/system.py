@@ -4,6 +4,13 @@ Workloads in the paper (Figure 9) run on 2545 PIM cores with 16 tasklets
 each.  Work is distributed evenly across cores (SPMD), inputs are scattered
 host->PIM, results gathered PIM->host, and the kernel time is the slowest
 core's time — with even distribution, the representative core's time.
+
+Execution is plan-based (:mod:`repro.plan`): :meth:`PIMSystem.run` compiles
+a throwaway :class:`~repro.plan.plan.ExecutionPlan` per call and executes
+it — bit-identical to the pre-plan monolith (held to that by the
+differential harness in ``tests/plan/``).  Callers that launch repeatedly
+should compile once via :meth:`PIMSystem.plan` or a
+:class:`~repro.plan.cache.PlanCache` and call ``execute`` on the plan.
 """
 
 from __future__ import annotations
@@ -15,7 +22,6 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.isa.opcosts import OpCosts, UPMEM_COSTS
-from repro.obs.tracer import span as _span
 from repro.pim.config import SystemConfig, UPMEM_SYSTEM
 from repro.pim.dpu import DPU, Kernel, KernelResult
 
@@ -24,7 +30,12 @@ __all__ = ["PIMSystem", "SystemRunResult"]
 
 @dataclass
 class SystemRunResult:
-    """Timing breakdown for a whole-system kernel launch."""
+    """Timing breakdown for a whole-system kernel launch.
+
+    The trailing fields echo the launch's configuration so traces and bench
+    snapshots are self-describing: a persisted result names its straggler
+    factor, virtual sizing, and transfer mode instead of losing them.
+    """
 
     n_elements: int
     n_dpus_used: int
@@ -34,6 +45,10 @@ class SystemRunResult:
     pim_to_host_seconds: float   # gathering outputs
     launch_seconds: float        # fixed launch overhead
     per_dpu: KernelResult
+    imbalance: float = 0.0           # straggler factor this run modeled
+    virtual_n: Optional[int] = None  # requested virtual sizing (None: actual)
+    include_transfers: bool = True   # False: Figure 1(c) resident operands
+    balanced_transfers: bool = True  # False: serialized single-bank copies
 
     @property
     def total_seconds(self) -> float:
@@ -67,6 +82,15 @@ class PIMSystem:
         """Even SPMD split, rounded up (the slowest core's share)."""
         return -(-n_elements // self.config.n_dpus)
 
+    def plan(self, target, **options):
+        """Compile ``target`` (a Method or raw kernel) into a reusable plan.
+
+        Options are :func:`~repro.plan.plan.compile_plan`'s: ``tasklets``,
+        ``sample_size``, ``transfers``, ``imbalance``.
+        """
+        from repro.plan.plan import compile_plan
+        return compile_plan(self, target, **options)
+
     def run(
         self,
         kernel: Kernel,
@@ -94,75 +118,65 @@ class PIMSystem:
         work distribution: the slowest core receives ``(1 + imbalance)``
         times the fair share, and the whole launch waits for it (SPMD
         barrier at the gather).
+
+        This is sugar over the plan/execute split: a throwaway plan is
+        compiled and executed per call.  Repeated launches should hold a
+        plan (:meth:`plan` or a PlanCache) and ``execute`` it instead.
         """
-        if imbalance < 0:
+        from repro.plan.plan import ExecutionPlan, TransferSchedule
+
+        plan = ExecutionPlan(
+            self, kernel, tasklets=tasklets, sample_size=sample_size,
+            transfers=TransferSchedule(
+                bytes_in_per_element=bytes_in_per_element,
+                bytes_out_per_element=bytes_out_per_element,
+                include_transfers=include_transfers,
+                balanced=balanced_transfers,
+            ),
+            imbalance=imbalance,
+        )
+        return plan.execute(inputs, virtual_n=virtual_n, rng=rng,
+                            batch=batch, span_name="system.run")
+
+    def run_sharded(
+        self,
+        kernel: Kernel,
+        inputs: Sequence[float],
+        shards: int = 2,
+        overlap: bool = False,
+        tasklets: int = 16,
+        sample_size: int = 64,
+        bytes_in_per_element: int = 4,
+        bytes_out_per_element: int = 4,
+        include_transfers: bool = True,
+        balanced_transfers: bool = True,
+        imbalance: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        virtual_n: Optional[int] = None,
+        batch: bool = True,
+    ):
+        """Run ``kernel`` split across ``shards`` disjoint DPU groups.
+
+        ``overlap=True`` double-buffers: one shard's host<->PIM transfers
+        overlap other shards' kernels (transfers serialize per direction on
+        the host links; kernels of disjoint groups run concurrently).
+        Returns a :class:`~repro.plan.dispatch.ShardedRunResult`.
+        """
+        from repro.plan.dispatch import execute_sharded
+        from repro.plan.plan import ExecutionPlan, TransferSchedule
+
+        if imbalance is not None and np.isscalar(imbalance) and imbalance < 0:
             raise SimulationError("imbalance must be non-negative")
-        inputs = np.asarray(inputs, dtype=np.float32)
-        n = int(virtual_n if virtual_n is not None else inputs.shape[0])
-        if n == 0 or inputs.shape[0] == 0:
-            raise SimulationError("cannot run a system kernel over empty input")
-
-        per_core = self.elements_per_dpu(n)
-        n_used = min(self.config.n_dpus, -(-n // per_core))
-
-        with _span("system.run", n_elements=n, tasklets=tasklets,
-                   n_dpus_used=n_used) as run_sp:
-            with _span("host_to_pim") as h2p_sp:
-                if include_transfers:
-                    h2p = self.config.host_to_pim_seconds(
-                        n * bytes_in_per_element,
-                        balanced=balanced_transfers)
-                else:
-                    h2p = 0.0
-                h2p_sp.set(sim_seconds=h2p,
-                           bytes=n * bytes_in_per_element
-                           if include_transfers else 0)
-
-            # The representative core traces a sample drawn from the full
-            # input distribution but runs its per-core share of elements.
-            with _span("kernel") as k_sp:
-                core_result = self.dpu.run_kernel(
-                    kernel,
-                    inputs,
-                    tasklets=tasklets,
-                    sample_size=sample_size,
-                    bytes_in_per_element=bytes_in_per_element,
-                    bytes_out_per_element=bytes_out_per_element,
-                    rng=rng,
-                    virtual_n=n,
-                    batch=batch,
-                )
-                share = per_core / n * (1.0 + imbalance)
-                kernel_seconds = core_result.seconds * share
-                k_sp.set(sim_seconds=kernel_seconds,
-                         cycles=core_result.cycles * share,
-                         per_dpu_cycles=core_result.cycles,
-                         slots=core_result.total_tally.slots)
-
-            with _span("pim_to_host") as p2h_sp:
-                if include_transfers:
-                    p2h = self.config.pim_to_host_seconds(
-                        n * bytes_out_per_element,
-                        balanced=balanced_transfers)
-                else:
-                    p2h = 0.0
-                p2h_sp.set(sim_seconds=p2h,
-                           bytes=n * bytes_out_per_element
-                           if include_transfers else 0)
-
-            with _span("launch") as l_sp:
-                launch = self.config.launch_overhead_s
-                l_sp.set(sim_seconds=launch)
-
-            result = SystemRunResult(
-                n_elements=n,
-                n_dpus_used=n_used,
-                tasklets=tasklets,
-                kernel_seconds=kernel_seconds,
-                host_to_pim_seconds=h2p,
-                pim_to_host_seconds=p2h,
-                launch_seconds=launch,
-                per_dpu=core_result,
-            )
-            run_sp.set(sim_seconds=result.total_seconds)
-        return result
+        plan = ExecutionPlan(
+            self, kernel, tasklets=tasklets, sample_size=sample_size,
+            transfers=TransferSchedule(
+                bytes_in_per_element=bytes_in_per_element,
+                bytes_out_per_element=bytes_out_per_element,
+                include_transfers=include_transfers,
+                balanced=balanced_transfers,
+            ),
+        )
+        return execute_sharded(
+            plan, inputs, n_shards=shards, overlap=overlap,
+            virtual_n=virtual_n, imbalance=imbalance, rng=rng, batch=batch,
+        )

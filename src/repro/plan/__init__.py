@@ -1,0 +1,36 @@
+"""Plan/execute split: compile-once ExecutionPlans and sharded dispatch.
+
+The execution stack's host-side setup (table build, placement, classifier
+binding, transfer schedule, SPMD split) compiles once into an
+:class:`ExecutionPlan`; launches are then `execute(plan, inputs)` calls that
+never rebuild or re-trace what a previous launch already paid for.
+
+* :mod:`repro.plan.plan` — :class:`ExecutionPlan`, :class:`TransferSchedule`,
+  :func:`compile_plan`; ``PIMSystem.run`` is a bit-identical wrapper over
+  these.
+* :mod:`repro.plan.cache` — :class:`PlanCache`, the LRU keyed off the
+  table-geometry signature plus the full launch configuration, with a
+  placement-sharing built-table pool.
+* :mod:`repro.plan.dispatch` — :func:`execute_sharded`: inputs split across
+  disjoint DPU groups with per-shard imbalance and optional double-buffered
+  (overlapped) host<->PIM transfers.
+* :mod:`repro.plan.session` — :class:`PlanSession`: multi-kernel serving
+  streams against one runtime's resident tables.
+"""
+
+from repro.plan.cache import PlanCache, PlanKey, plan_signature, table_signature
+from repro.plan.dispatch import (
+    ShardedRunResult,
+    ShardResult,
+    execute_sharded,
+    shard_split,
+)
+from repro.plan.plan import ExecutionPlan, TransferSchedule, compile_plan
+from repro.plan.session import LaunchRecord, PlanSession
+
+__all__ = [
+    "ExecutionPlan", "TransferSchedule", "compile_plan",
+    "PlanCache", "PlanKey", "plan_signature", "table_signature",
+    "ShardResult", "ShardedRunResult", "shard_split", "execute_sharded",
+    "PlanSession", "LaunchRecord",
+]

@@ -1,0 +1,236 @@
+"""PlanCache: LRU of compiled ExecutionPlans plus a pooled table image.
+
+Keys build on :func:`repro.core.tablecache.cache_signature` — the stable
+digest of a method's table geometry — extended with everything else that
+changes a launch's numbers: every primitive constructor knob (so CORDIC
+``iterations`` or a polynomial ``degree`` can never collide), sub-methods of
+composites (recursively), the reducer's ``assume_in_range``, the op-cost
+table, and at the plan level the placement, system configuration, tasklet
+count, sample size, transfer schedule, and imbalance.
+
+Two tiers, because tables are placement-independent but tallies are not:
+
+* the **method pool** keys off the placement-*excluded* signature and holds
+  one built Method per table image — a WRAM plan and an MRAM plan of the
+  same geometry share tables (and the ``memo`` of derived data such as the
+  sweep's RMSE evaluation) without rebuilding;
+* the **plan LRU** keys off the full launch configuration and holds the
+  compiled plans themselves, each with its own path-tally cache.
+
+Both tiers are bounded LRUs; hit/miss/evict counters surface through
+``repro.obs.metrics`` (``plancache.*``) and as attributes for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.method import Method
+from repro.errors import ConfigurationError
+from repro.isa.opcosts import OpCosts
+from repro.obs import metrics as _metrics
+from repro.pim.config import SystemConfig
+from repro.pim.system import PIMSystem
+from repro.plan.plan import ExecutionPlan, TransferSchedule, compile_plan
+
+__all__ = ["PlanCache", "PlanKey", "plan_signature", "table_signature"]
+
+_PRIMITIVE = (bool, int, float, str, np.floating, np.integer, np.bool_)
+
+
+def _method_parts(method: Method, include_placement: bool) -> list:
+    """Every primitive field that can change this method's numbers.
+
+    Recurses into sub-Methods (composites like DL-LUT and the tan quotient
+    keep their knobs on their parts) and into the geometry record; the
+    op-cost table rides along via its frozen-dataclass repr.
+    """
+    from repro.core.tablecache import cache_signature
+
+    parts = [cache_signature(method), f"air={method.assume_in_range!r}",
+             f"costs={method.costs!r}"]
+    if include_placement:
+        parts.append(f"placement={method.placement}")
+    for name, value in sorted(vars(method).items()):
+        if name.startswith("_") or name == "placement":
+            continue
+        if isinstance(value, _PRIMITIVE):
+            parts.append(f"{name}={value!r}")
+        elif isinstance(value, Method):
+            parts.append(
+                f"{name}=<" + "|".join(
+                    _method_parts(value, include_placement)) + ">")
+    return parts
+
+
+def table_signature(method: Method) -> str:
+    """Placement-independent identity of a method's built table image."""
+    digest = hashlib.sha256(
+        "|".join(_method_parts(method, include_placement=False)).encode()
+    ).hexdigest()[:24]
+    return f"{method.method_name}-{method.spec.name}-{digest}"
+
+
+def plan_signature(method: Method) -> str:
+    """Full launch-relevant identity (table image + placement)."""
+    digest = hashlib.sha256(
+        "|".join(_method_parts(method, include_placement=True)).encode()
+    ).hexdigest()[:24]
+    return f"{method.method_name}-{method.spec.name}-{digest}"
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything that distinguishes one compiled launch from another."""
+
+    table_key: str
+    placement: str
+    system: SystemConfig
+    costs: OpCosts
+    tasklets: int
+    sample_size: int
+    transfers: TransferSchedule
+    imbalance: float
+
+
+@dataclass
+class _PoolEntry:
+    """One built table image shared by every placement's plan."""
+
+    method: Method
+    memo: dict = field(default_factory=dict)
+
+
+class PlanCache:
+    """Bounded LRU of ExecutionPlans with a shared built-table pool."""
+
+    def __init__(self, maxsize: int = 64,
+                 method_pool_size: Optional[int] = None):
+        if maxsize < 1:
+            raise ConfigurationError("PlanCache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self.method_pool_size = method_pool_size if method_pool_size \
+            is not None else max(maxsize, 8)
+        if self.method_pool_size < 1:
+            raise ConfigurationError("PlanCache needs method_pool_size >= 1")
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._methods: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.table_hits = 0
+        self.table_misses = 0
+        self.table_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, system: PIMSystem, method: Method, *,
+                tasklets: int = 16, sample_size: int = 64,
+                transfers: Optional[TransferSchedule] = None,
+                imbalance: float = 0.0) -> PlanKey:
+        """The PlanKey a :meth:`plan` call with these arguments would use."""
+        return PlanKey(
+            table_key=table_signature(method),
+            placement=method.placement,
+            system=system.config,
+            costs=system.costs,
+            tasklets=tasklets,
+            sample_size=sample_size,
+            transfers=transfers if transfers is not None
+            else TransferSchedule(),
+            imbalance=imbalance,
+        )
+
+    def plan(self, system: PIMSystem, method: Method, *,
+             tasklets: int = 16, sample_size: int = 64,
+             transfers: Optional[TransferSchedule] = None,
+             imbalance: float = 0.0) -> ExecutionPlan:
+        """The compiled plan for this launch configuration, cached.
+
+        On a plan miss, the method pool is consulted first: an equivalent
+        built table image (any placement) is reused via
+        :meth:`~repro.core.method.Method.set_placement` instead of
+        rebuilding; only a pool miss pays for table generation.
+        ``method`` may be passed un-setup — compilation builds it (or
+        skips the build entirely on a pool hit).
+        """
+        key = self.key_for(system, method, tasklets=tasklets,
+                           sample_size=sample_size, transfers=transfers,
+                           imbalance=imbalance)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            _metrics.inc("plancache.hits")
+            return cached
+        self.misses += 1
+        _metrics.inc("plancache.misses")
+
+        entry = self._methods.get(key.table_key)
+        pooled_hit = entry is not None
+        if entry is None:
+            entry = _PoolEntry(method=method)
+        else:
+            self._methods.move_to_end(key.table_key)
+        pooled = entry.method
+        if pooled_hit and pooled.placement != key.placement:
+            pooled.set_placement(key.placement)
+
+        plan = compile_plan(
+            system, pooled, tasklets=tasklets, sample_size=sample_size,
+            transfers=key.transfers, imbalance=imbalance,
+            signature=plan_signature(pooled), memo=entry.memo,
+        )
+        # Pool only after a successful compile: a failing table build must
+        # not leave a half-built method answering future pool lookups.
+        if pooled_hit:
+            self.table_hits += 1
+            _metrics.inc("plancache.table_hits")
+        else:
+            self.table_misses += 1
+            _metrics.inc("plancache.table_misses")
+            self._methods[key.table_key] = entry
+        self._plans[key] = plan
+        self._evict()
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def _evict(self) -> None:
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+            _metrics.inc("plancache.evictions")
+        while len(self._methods) > self.method_pool_size:
+            self._methods.popitem(last=False)
+            self.table_evictions += 1
+            _metrics.inc("plancache.table_evictions")
+
+    def clear(self) -> None:
+        """Drop every cached plan and pooled table image."""
+        self._plans.clear()
+        self._methods.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (also mirrored in ``repro.obs.metrics``)."""
+        return {
+            "plans": len(self._plans),
+            "methods": len(self._methods),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "table_hits": self.table_hits,
+            "table_misses": self.table_misses,
+            "table_evictions": self.table_evictions,
+        }

@@ -1,0 +1,249 @@
+"""Sharded dispatch: one plan, many DPU groups, optionally overlapped.
+
+Real UPMEM deployments reach peak throughput by splitting work across rank
+groups and overlapping each group's host<->PIM transfers with other groups'
+kernels ("UPMEM Unleashed", PAPERS.md).  This module models that on top of
+compiled plans: :func:`execute_sharded` splits the input across ``n_shards``
+disjoint DPU groups, launches the same :class:`~repro.plan.plan.ExecutionPlan`
+on each group (sub-plans share the parent's path-tally cache, so tracing is
+paid once), and assembles a timeline —
+
+* ``overlap=False``: shards launch back to back, exactly like calling
+  ``run()`` once per slice; the total is the bit-exact running sum of the
+  per-shard totals.
+* ``overlap=True``: double-buffered.  Scatters serialize on the host->PIM
+  link, each shard's kernel starts as soon as its scatter lands (kernels of
+  different groups run concurrently — disjoint cores), and gathers serialize
+  on the PIM->host link:
+
+      h2p_done[i] = h2p_done[i-1] + h2p[i]
+      k_done[i]   = h2p_done[i] + launch[i] + kernel[i]
+      p2h_done[i] = max(k_done[i], p2h_done[i-1]) + p2h[i]
+      total       = p2h_done[last]
+
+Per-shard ``shard`` spans carry the four phase times and the timeline
+offsets, so the emitted trace reconciles bit for bit with ``total_seconds``
+(asserted in ``tests/plan/test_dispatch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import span as _span
+from repro.pim.system import PIMSystem, SystemRunResult
+from repro.plan.plan import ExecutionPlan
+
+__all__ = ["ShardResult", "ShardedRunResult", "shard_split",
+           "execute_sharded"]
+
+_F32 = np.float32
+
+
+def shard_split(n_elements: int, n_dpus: int,
+                n_shards: int) -> List[Tuple[int, int]]:
+    """Even (elements, dpus) split of a launch over ``n_shards`` groups.
+
+    Remainders go to the lowest-indexed shards, mirroring the SPMD
+    round-up in :meth:`PIMSystem.elements_per_dpu`.
+    """
+    if n_shards < 1:
+        raise SimulationError("need at least one shard")
+    if n_shards > n_dpus:
+        raise SimulationError(
+            f"{n_shards} shards over {n_dpus} DPUs: every shard needs "
+            "its own DPU group")
+    if n_shards > n_elements:
+        raise SimulationError(
+            f"{n_shards} shards over {n_elements} elements: every shard "
+            "needs at least one element")
+    eq, er = divmod(n_elements, n_shards)
+    dq, dr = divmod(n_dpus, n_shards)
+    return [(eq + (1 if i < er else 0), dq + (1 if i < dr else 0))
+            for i in range(n_shards)]
+
+
+@dataclass
+class ShardResult:
+    """One DPU group's launch plus its position on the dispatch timeline."""
+
+    index: int
+    n_elements: int
+    n_dpus: int
+    result: SystemRunResult
+    start_seconds: float    # when this shard's scatter begins
+    finish_seconds: float   # when its gather completes
+
+
+@dataclass
+class ShardedRunResult:
+    """Timing of a sharded (optionally overlapped) whole-system dispatch.
+
+    Mirrors enough of :class:`SystemRunResult`'s surface (``total_seconds``,
+    phase sums, ``per_dpu`` of the slowest shard) that workload result
+    wrappers and the energy model can consume either shape.
+    """
+
+    n_elements: int
+    n_shards: int
+    overlap: bool
+    tasklets: int
+    shards: List[ShardResult]
+    total_seconds: float
+
+    @property
+    def serial_seconds(self) -> float:
+        """What the same shards would take launched strictly back to back."""
+        total = 0.0
+        for s in self.shards:
+            total += s.result.total_seconds
+        return total
+
+    @property
+    def overlap_saving_seconds(self) -> float:
+        """Time the double-buffered timeline hides (0 when not overlapped)."""
+        return self.serial_seconds - self.total_seconds
+
+    # -- SystemRunResult-shaped conveniences ----------------------------
+
+    @property
+    def n_dpus_used(self) -> int:
+        return sum(s.result.n_dpus_used for s in self.shards)
+
+    @property
+    def kernel_seconds(self) -> float:
+        """The slowest shard's kernel time (groups run concurrently)."""
+        return max(s.result.kernel_seconds for s in self.shards)
+
+    @property
+    def host_to_pim_seconds(self) -> float:
+        return sum(s.result.host_to_pim_seconds for s in self.shards)
+
+    @property
+    def pim_to_host_seconds(self) -> float:
+        return sum(s.result.pim_to_host_seconds for s in self.shards)
+
+    @property
+    def launch_seconds(self) -> float:
+        return sum(s.result.launch_seconds for s in self.shards)
+
+    @property
+    def per_dpu(self):
+        """Representative per-core result: the slowest shard's."""
+        slowest = max(self.shards, key=lambda s: s.result.kernel_seconds)
+        return slowest.result.per_dpu
+
+    @property
+    def compute_only_seconds(self) -> float:
+        """Slowest shard's kernel plus its launch (Figure 1(c) view)."""
+        slowest = max(self.shards, key=lambda s: s.result.kernel_seconds)
+        return slowest.result.compute_only_seconds
+
+
+def _shard_inputs(inputs: np.ndarray, counts: Sequence[int],
+                  virtual_n: Optional[int]) -> List[Tuple[np.ndarray, int]]:
+    """Per-shard (array, virtual_n) pairs.
+
+    With ``virtual_n`` the materialized array is a distribution sample, so
+    every shard reuses it whole and sizes itself virtually; otherwise the
+    array is split contiguously.
+    """
+    if virtual_n is not None:
+        return [(inputs, c) for c in counts]
+    out, offset = [], 0
+    for c in counts:
+        out.append((inputs[offset:offset + c], None))
+        offset += c
+    return out
+
+
+def execute_sharded(
+    plan: ExecutionPlan,
+    inputs: Sequence[float],
+    *,
+    n_shards: int = 2,
+    overlap: bool = False,
+    virtual_n: Optional[int] = None,
+    imbalance: Union[None, float, Sequence[float]] = None,
+    rng: Optional[np.random.Generator] = None,
+    batch: bool = True,
+) -> ShardedRunResult:
+    """Dispatch ``plan`` over ``n_shards`` disjoint DPU groups.
+
+    ``imbalance`` may be a scalar (every shard's straggler factor) or a
+    per-shard sequence of length ``n_shards``; ``None`` uses the plan's.
+    All shard sub-plans share the parent plan's path-tally cache, so the
+    scalar tracing cost of a cold plan is paid once, not per shard.
+    """
+    inputs = np.asarray(inputs, dtype=_F32)
+    n = int(virtual_n if virtual_n is not None else inputs.shape[0])
+    if n == 0 or inputs.shape[0] == 0:
+        raise SimulationError("cannot dispatch over empty input")
+    system = plan.system
+    split = shard_split(n, system.config.n_dpus, n_shards)
+    if imbalance is None or isinstance(imbalance, (int, float)):
+        imbalances = [imbalance] * n_shards
+    else:
+        imbalances = list(imbalance)
+        if len(imbalances) != n_shards:
+            raise SimulationError(
+                f"got {len(imbalances)} imbalance factors for "
+                f"{n_shards} shards")
+
+    counts = [ne for ne, _ in split]
+    pieces = _shard_inputs(inputs, counts, virtual_n)
+
+    shards: List[ShardResult] = []
+    with _span("dispatch.run", n_shards=n_shards, overlap=overlap,
+               n_elements=n) as dsp:
+        h2p_done = 0.0
+        p2h_done = 0.0
+        serial_done = 0.0
+        for i, ((n_i, dpus_i), (xs_i, vn_i)) in enumerate(zip(split, pieces)):
+            sub = PIMSystem(replace(system.config, n_dpus=dpus_i),
+                            system.costs)
+            with _span("shard", index=i, n_elements=n_i,
+                       n_dpus=dpus_i) as ssp:
+                r = plan.for_system(sub).execute(
+                    xs_i, virtual_n=vn_i, rng=rng, batch=batch,
+                    imbalance=imbalances[i], span_name="shard.execute",
+                )
+                if overlap:
+                    start = h2p_done
+                    h2p_done = h2p_done + r.host_to_pim_seconds
+                    k_done = h2p_done + r.launch_seconds + r.kernel_seconds
+                    p2h_done = max(k_done, p2h_done) + r.pim_to_host_seconds
+                    finish = p2h_done
+                else:
+                    start = serial_done
+                    serial_done = serial_done + r.total_seconds
+                    finish = serial_done
+                ssp.set(sim_seconds=r.total_seconds,
+                        host_to_pim=r.host_to_pim_seconds,
+                        kernel=r.kernel_seconds,
+                        pim_to_host=r.pim_to_host_seconds,
+                        launch=r.launch_seconds,
+                        start_seconds=start,
+                        finish_seconds=finish)
+            shards.append(ShardResult(
+                index=i, n_elements=n_i, n_dpus=dpus_i, result=r,
+                start_seconds=start, finish_seconds=finish,
+            ))
+        total = p2h_done if overlap else serial_done
+        result = ShardedRunResult(
+            n_elements=n, n_shards=n_shards, overlap=overlap,
+            tasklets=plan.tasklets, shards=shards, total_seconds=total,
+        )
+        dsp.set(sim_seconds=total,
+                serial_seconds=result.serial_seconds)
+    _metrics.inc("dispatch.runs")
+    _metrics.inc("dispatch.shards", n_shards)
+    if overlap:
+        _metrics.observe("dispatch.overlap_saving_seconds",
+                         result.overlap_saving_seconds)
+    return result

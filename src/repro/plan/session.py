@@ -1,0 +1,149 @@
+"""Serving sessions: many kernels, one set of resident tables.
+
+A production deployment (ROADMAP north star) installs a handful of
+transcendental functions once and then serves a stream of launches against
+them — different functions, different batch sizes, interleaved.
+:class:`PlanSession` models that call stream: it owns a
+:class:`~repro.pim.host.PIMRuntime` (whose per-core WRAM/MRAM the installed
+tables genuinely share) and a :class:`~repro.plan.cache.PlanCache`, so the
+first launch of each function compiles its plan and every later launch —
+including sharded/overlapped ones — is PlanCache-warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.method import Method
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import span as _span
+from repro.pim.system import SystemRunResult
+
+if TYPE_CHECKING:  # imported lazily at runtime (host imports this package)
+    from repro.pim.host import InstalledFunction, PIMRuntime
+from repro.plan.cache import PlanCache
+from repro.plan.dispatch import ShardedRunResult, execute_sharded
+from repro.plan.plan import TransferSchedule
+
+__all__ = ["PlanSession", "LaunchRecord"]
+
+_F32 = np.float32
+
+
+@dataclass
+class LaunchRecord:
+    """One completed launch in a session's stream."""
+
+    function: str
+    n_elements: int
+    shards: int
+    overlap: bool
+    simulated_seconds: float
+
+
+@dataclass
+class _FunctionStats:
+    launches: int = 0
+    elements: int = 0
+    simulated_seconds: float = 0.0
+
+
+class PlanSession:
+    """A multi-kernel call stream over one runtime's resident tables."""
+
+    def __init__(self, runtime: Optional["PIMRuntime"] = None,
+                 plan_cache: Optional[PlanCache] = None,
+                 tasklets: int = 16, sample_size: int = 64):
+        from repro.pim.host import PIMRuntime
+
+        self.runtime = runtime if runtime is not None else PIMRuntime()
+        self.plans = plan_cache if plan_cache is not None else PlanCache()
+        self.tasklets = tasklets
+        self.sample_size = sample_size
+        self.launches: List[LaunchRecord] = []
+        self._stats: Dict[str, _FunctionStats] = {}
+
+    # ------------------------------------------------------------------
+
+    def install(self, method: Method) -> InstalledFunction:
+        """Install a function (tables built and placed in every core)."""
+        return self.runtime.install(method)
+
+    @property
+    def functions(self) -> List[str]:
+        return self.runtime.functions
+
+    def launch(
+        self,
+        name: str,
+        inputs,
+        *,
+        shards: int = 1,
+        overlap: bool = False,
+        virtual_n: Optional[int] = None,
+        transfers: Optional[TransferSchedule] = None,
+        batch: bool = True,
+    ) -> Union[SystemRunResult, ShardedRunResult]:
+        """Launch installed function ``name`` over ``inputs``.
+
+        ``shards``/``overlap`` route through the sharded dispatcher;
+        plans (and their path-tally caches) persist across launches, so a
+        steady-state stream never re-traces or rebuilds anything.
+        """
+        fn = self.runtime[name]
+        with _span("session.launch", function=name, shards=shards) as sp:
+            plan = self.plans.plan(
+                self.runtime.system, fn.method, tasklets=self.tasklets,
+                sample_size=self.sample_size, transfers=transfers,
+            )
+            if shards > 1:
+                result = execute_sharded(
+                    plan, inputs, n_shards=shards, overlap=overlap,
+                    virtual_n=virtual_n, batch=batch,
+                )
+            else:
+                result = plan.execute(
+                    np.asarray(inputs, dtype=_F32), virtual_n=virtual_n,
+                    batch=batch,
+                )
+            sp.set(sim_seconds=result.total_seconds,
+                   n_elements=result.n_elements)
+        record = LaunchRecord(
+            function=name, n_elements=result.n_elements, shards=shards,
+            overlap=overlap, simulated_seconds=result.total_seconds,
+        )
+        self.launches.append(record)
+        stats = self._stats.setdefault(name, _FunctionStats())
+        stats.launches += 1
+        stats.elements += result.n_elements
+        stats.simulated_seconds += result.total_seconds
+        _metrics.inc("session.launches")
+        _metrics.inc("session.elements", result.n_elements)
+        return result
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        return sum(r.simulated_seconds for r in self.launches)
+
+    def summary(self) -> str:
+        """Per-function launch statistics for the whole session."""
+        from repro.analysis.report import format_table
+
+        rows = [
+            (name, s.launches, s.elements, f"{s.simulated_seconds:.6f}")
+            for name, s in sorted(self._stats.items())
+        ]
+        cache = self.plans.stats()
+        return (
+            f"plan session: {len(self.launches)} launches, "
+            f"{self.total_simulated_seconds:.6f} s simulated, "
+            f"{cache['hits']}/{cache['hits'] + cache['misses']} "
+            "plan-cache hits\n"
+            + format_table(["function", "launches", "elements", "sim_s"],
+                           rows)
+        )

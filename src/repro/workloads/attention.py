@@ -155,14 +155,30 @@ class AttentionSoftmax:
         system: PIMSystem,
         tasklets: int = 16,
         virtual_rows: Optional[int] = None,
+        shards: int = 1,
+        overlap: bool = False,
     ) -> AttentionRunResult:
-        """Simulate the single-launch whole-system run (rows are elements)."""
+        """Simulate the single-launch whole-system run (rows are elements).
+
+        ``shards > 1`` dispatches the rows across disjoint DPU groups
+        (optionally ``overlap``-ped).
+        """
         self._require_ready()
-        res = system.run(
-            self.kernel, np.asarray(scores, dtype=_F32),
-            tasklets=tasklets, sample_size=8,
-            bytes_in_per_element=self.row_len * 4,
-            bytes_out_per_element=self.row_len * 4,
-            virtual_n=virtual_rows,
-        )
+        if shards > 1:
+            res = system.run_sharded(
+                self.kernel, np.asarray(scores, dtype=_F32),
+                shards=shards, overlap=overlap,
+                tasklets=tasklets, sample_size=8,
+                bytes_in_per_element=self.row_len * 4,
+                bytes_out_per_element=self.row_len * 4,
+                virtual_n=virtual_rows,
+            )
+        else:
+            res = system.run(
+                self.kernel, np.asarray(scores, dtype=_F32),
+                tasklets=tasklets, sample_size=8,
+                bytes_in_per_element=self.row_len * 4,
+                bytes_out_per_element=self.row_len * 4,
+                virtual_n=virtual_rows,
+            )
         return AttentionRunResult(run=res)

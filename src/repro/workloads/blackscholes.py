@@ -417,13 +417,24 @@ class Blackscholes:
         sample_size: int = 48,
         virtual_n: int = None,
         use_batch: bool = True,
+        shards: int = 1,
+        overlap: bool = False,
     ) -> SystemRunResult:
         """Simulate the whole-system run over the option batch.
 
         ``virtual_n`` sizes the run as if the batch were that many options
-        (the batch then only feeds the traced sample).
+        (the batch then only feeds the traced sample).  ``shards > 1``
+        dispatches across disjoint DPU groups (optionally ``overlap``-ped).
         """
         self._require_ready()
+        if shards > 1:
+            return system.run_sharded(
+                self.kernel, batch.records(), shards=shards, overlap=overlap,
+                tasklets=tasklets, sample_size=sample_size,
+                bytes_in_per_element=BYTES_PER_OPTION,
+                bytes_out_per_element=4,
+                virtual_n=virtual_n, batch=use_batch,
+            )
         return system.run(
             self.kernel,
             batch.records(),

@@ -160,15 +160,30 @@ class LogisticRegression:
         system: PIMSystem,
         tasklets: int = 16,
         virtual_n: Optional[int] = None,
+        shards: int = 1,
+        overlap: bool = False,
     ) -> LogRegRunResult:
-        """Simulate whole-system inference over the feature matrix."""
+        """Simulate whole-system inference over the feature matrix.
+
+        ``shards > 1`` dispatches across disjoint DPU groups (optionally
+        ``overlap``-ped); the wrapped ``run`` is then a
+        :class:`~repro.plan.dispatch.ShardedRunResult`.
+        """
         self._require_ready()
         bytes_in = self.n_features * 4
-        res = system.run(
-            self.kernel, features, tasklets=tasklets, sample_size=24,
-            bytes_in_per_element=bytes_in, bytes_out_per_element=4,
-            virtual_n=virtual_n,
-        )
+        if shards > 1:
+            res = system.run_sharded(
+                self.kernel, features, shards=shards, overlap=overlap,
+                tasklets=tasklets, sample_size=24,
+                bytes_in_per_element=bytes_in, bytes_out_per_element=4,
+                virtual_n=virtual_n,
+            )
+        else:
+            res = system.run(
+                self.kernel, features, tasklets=tasklets, sample_size=24,
+                bytes_in_per_element=bytes_in, bytes_out_per_element=4,
+                virtual_n=virtual_n,
+            )
 
         # Split the per-element slots into dot-product vs sigmoid work.
         ctx = CycleCounter(self.costs)

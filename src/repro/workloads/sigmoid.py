@@ -113,9 +113,22 @@ class Sigmoid:
         sample_size: int = 64,
         virtual_n: int = None,
         use_batch: bool = True,
+        shards: int = 1,
+        overlap: bool = False,
     ) -> SystemRunResult:
-        """Simulate the whole-system run (``virtual_n`` sizes it up)."""
+        """Simulate the whole-system run (``virtual_n`` sizes it up).
+
+        ``shards > 1`` dispatches across disjoint DPU groups (optionally
+        ``overlap``-ped) and returns a
+        :class:`~repro.plan.dispatch.ShardedRunResult`.
+        """
         self._require_ready()
+        if shards > 1:
+            return system.run_sharded(
+                self.kernel, x, shards=shards, overlap=overlap,
+                tasklets=tasklets, sample_size=sample_size,
+                virtual_n=virtual_n, batch=use_batch,
+            )
         return system.run(
             self.kernel,
             x,

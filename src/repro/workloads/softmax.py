@@ -178,33 +178,46 @@ class Softmax:
         sample_size: int = 64,
         virtual_n: int = None,
         use_batch: bool = True,
+        shards: int = 1,
+        overlap: bool = False,
     ) -> SoftmaxRunResult:
-        """Simulate the three-phase whole-system run (``virtual_n`` sizes it up)."""
+        """Simulate the three-phase whole-system run (``virtual_n`` sizes it up).
+
+        ``shards > 1`` dispatches each phase across disjoint DPU groups
+        (optionally ``overlap``-ped between a phase's shards; phases still
+        barrier on the host reduction between them).
+        """
         self._require_ready()
         x = np.asarray(x, dtype=_F32)
         gmax = float(x.max())
 
+        def _launch(kernel, sample_size_, bytes_out, include_transfers=True):
+            if shards > 1:
+                return system.run_sharded(
+                    kernel, x, shards=shards, overlap=overlap,
+                    tasklets=tasklets, sample_size=sample_size_,
+                    bytes_in_per_element=4, bytes_out_per_element=bytes_out,
+                    include_transfers=include_transfers,
+                    virtual_n=virtual_n, batch=use_batch,
+                )
+            return system.run(
+                kernel, x, tasklets=tasklets, sample_size=sample_size_,
+                bytes_in_per_element=4, bytes_out_per_element=bytes_out,
+                include_transfers=include_transfers,
+                virtual_n=virtual_n, batch=use_batch,
+            )
+
         with _span("workload.softmax", variant=self.variant) as sp:
             with _span("phase.max"):
-                r_max = system.run(
-                    self.kernel_max, x, tasklets=tasklets, sample_size=8,
-                    bytes_in_per_element=4, bytes_out_per_element=0,
-                    virtual_n=virtual_n, batch=use_batch,
-                )
+                r_max = _launch(self.kernel_max, 8, 0)
             with _span("phase.exp_sum"):
-                r_exp = system.run(
+                r_exp = _launch(
                     lambda ctx, v: self.kernel_exp_sum(ctx, v, gmax),
-                    x, tasklets=tasklets, sample_size=sample_size,
-                    bytes_in_per_element=4, bytes_out_per_element=4,
+                    sample_size, 4,
                     include_transfers=False,  # operands resident after phase 1
-                    virtual_n=virtual_n, batch=use_batch,
                 )
             with _span("phase.scale"):
-                r_scale = system.run(
-                    self.kernel_scale, x, tasklets=tasklets, sample_size=8,
-                    bytes_in_per_element=4, bytes_out_per_element=4,
-                    virtual_n=virtual_n, batch=use_batch,
-                )
+                r_scale = _launch(self.kernel_scale, 8, 4)
             # Host reduces 2545 partial maxima and sums: negligible compute,
             # one small gather each — model as two launch overheads.
             with _span("reduce") as red_sp:

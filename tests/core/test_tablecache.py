@@ -92,6 +92,88 @@ class TestSetupHelper:
         assert not cache.contains(make_method("sin", "llut", density_log2=9))
 
 
+def _built(function, density=9):
+    return make_method(function, "llut_i", density_log2=density).setup()
+
+
+class TestSizeBound:
+    def test_unbounded_by_default(self, cache):
+        for fn in ("sin", "cos", "exp", "log"):
+            cache.store(_built(fn))
+        assert len(cache) == 4 and cache.evictions == 0
+
+    def test_store_evicts_lru(self, tmp_path):
+        one = TableCache(tmp_path / "probe")
+        size = one.store(_built("sin")).stat().st_size
+        cache = TableCache(tmp_path / "tables", max_bytes=2 * size)
+        cache.store(_built("sin"))
+        cache.store(_built("cos"))
+        assert cache.evictions == 0
+        cache.store(_built("exp"))  # evicts sin, the oldest
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        assert cache.total_bytes <= cache.max_bytes
+        assert not cache.contains(make_method("sin", "llut_i", density_log2=9))
+        assert cache.contains(make_method("cos", "llut_i", density_log2=9))
+
+    def test_load_refreshes_recency(self, tmp_path):
+        one = TableCache(tmp_path / "probe")
+        size = one.store(_built("sin")).stat().st_size
+        cache = TableCache(tmp_path / "tables", max_bytes=2 * size)
+        cache.store(_built("sin"))
+        cache.store(_built("cos"))
+        # Touch sin: cos becomes the LRU entry.
+        assert cache.load_into(make_method("sin", "llut_i", density_log2=9))
+        cache.store(_built("exp"))
+        assert cache.contains(make_method("sin", "llut_i", density_log2=9))
+        assert not cache.contains(make_method("cos", "llut_i", density_log2=9))
+
+    def test_oversized_store_keeps_itself(self, tmp_path):
+        cache = TableCache(tmp_path / "tables", max_bytes=1)
+        cache.store(_built("sin"))
+        cache.store(_built("cos"))
+        # The bound can't hold either table, but the entry just stored is
+        # never evicted — only older ones go.
+        assert len(cache) == 1
+        assert cache.contains(make_method("cos", "llut_i", density_log2=9))
+
+    def test_counters_and_metrics(self, tmp_path):
+        from repro.obs.metrics import collecting
+
+        one = TableCache(tmp_path / "probe")
+        size = one.store(_built("sin")).stat().st_size
+        cache = TableCache(tmp_path / "tables", max_bytes=2 * size)
+        with collecting() as reg:
+            cache.store(_built("sin"))
+            cache.store(_built("cos"))
+            cache.store(_built("exp"))
+        assert cache.stores == 3 and cache.evictions == 1
+        assert reg.value("tablecache.stores") == 3
+        assert reg.value("tablecache.evictions") == 1
+        assert reg.gauge("tablecache.bytes").last == cache.total_bytes
+
+    def test_reopened_cache_applies_bound_to_old_files(self, tmp_path):
+        unbounded = TableCache(tmp_path / "tables")
+        unbounded.store(_built("sin"))
+        unbounded.store(_built("cos"))
+        size = unbounded.total_bytes
+        reopened = TableCache(tmp_path / "tables", max_bytes=size)
+        assert len(reopened) == 2  # pre-existing files were adopted
+        reopened.store(_built("exp"))  # overflow: oldest pre-existing goes
+        assert reopened.evictions >= 1
+        assert reopened.total_bytes <= size
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TableCache(tmp_path / "tables", max_bytes=0)
+
+    def test_clear_resets_lru(self, tmp_path):
+        cache = TableCache(tmp_path / "tables", max_bytes=1 << 30)
+        cache.store(_built("sin"))
+        assert cache.clear() == 1
+        assert len(cache) == 0 and cache.total_bytes == 0
+
+
 class TestRejections:
     def test_cordic_rejected(self, cache):
         with pytest.raises(ConfigurationError, match="not a table method"):

@@ -110,20 +110,25 @@ class TestInstrumentationSites:
         assert reg.value("tablecache.misses") == 1
         assert reg.value("tablecache.hits") == 1
 
-    def test_sweep_method_cache_metrics(self):
+    def test_sweep_plan_cache_metrics(self):
         from repro.analysis.sweep import default_inputs, sweep_method
+        from repro.plan.cache import PlanCache
 
         inputs = default_inputs("sin", n=256)
-        cache = {}
+        cache = PlanCache()
         with collecting() as reg:
             sweep_method("sin", "llut_i", "density_log2", (8,),
                          placement="mram", inputs=inputs, sample_size=8,
-                         method_cache=cache)
+                         plan_cache=cache)
             sweep_method("sin", "llut_i", "density_log2", (8,),
                          placement="wram", inputs=inputs, sample_size=8,
-                         method_cache=cache)
-        assert reg.value("sweep.method_cache.misses") == 1
-        assert reg.value("sweep.method_cache.hits") == 1
+                         plan_cache=cache)
+        # Two distinct placements: two compiled plans, one shared table
+        # image (the wram point retargets the mram build via the pool).
+        assert reg.value("plancache.misses") == 2
+        assert reg.value("plancache.table_misses") == 1
+        assert reg.value("plancache.table_hits") == 1
+        assert reg.value("plan.compiles") == 2
         assert reg.value("sweep.points") == 2
 
     def test_dpu_observes_dma_hiding(self):

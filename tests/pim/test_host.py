@@ -50,6 +50,26 @@ class TestInstall:
         with pytest.raises(ConfigurationError, match="already installed"):
             runtime.install(make_method("sin", "llut_i", density_log2=12))
 
+    def test_rejected_duplicate_leaves_no_trace(self, runtime):
+        """The name check must run before any core memory is touched.
+
+        A rejected install used to allocate the duplicate's tables in every
+        core (and bump the memory gauges) before raising.
+        """
+        from repro.obs.metrics import collecting
+
+        runtime.install(make_method("sin", "llut_i", density_log2=10))
+        used_before = runtime.system.dpu.mram.used_bytes
+        setup_before = runtime.total_setup_seconds
+        dup = make_method("sin", "llut_i", density_log2=12)
+        with collecting() as reg:
+            with pytest.raises(ConfigurationError, match="already installed"):
+                runtime.install(dup)
+        assert runtime.system.dpu.mram.used_bytes == used_before
+        assert runtime.total_setup_seconds == setup_before
+        assert reg.value("memory.mram_bytes") == 0
+        assert not dup._ready  # tables were never built
+
 
 class TestLookupAndRun:
     def test_getitem(self, runtime):
