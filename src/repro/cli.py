@@ -163,16 +163,29 @@ def _cmd_lint(args) -> int:
     import json
 
     from repro.errors import ConfigurationError
-    from repro.lint import ALL_PASSES, run_lint
+    from repro.lint import (
+        ALL_PASSES,
+        apply_baseline,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
 
     passes = tuple(p.strip() for p in args.passes.split(",") if p.strip()) \
         if args.passes else ALL_PASSES
     try:
         report = run_lint(passes=passes,
                           extra_modules=tuple(args.extra_module))
+        if args.baseline:
+            apply_baseline(report, load_baseline(args.baseline))
     except ConfigurationError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    if args.write_baseline:
+        n = write_baseline(report, args.write_baseline)
+        print(f"repro lint: wrote {n} accepted fingerprint(s) to "
+              f"{args.write_baseline}")
+        return 0
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -370,18 +383,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("lint",
-                       help="statically verify kernel cost contracts")
+                       help="statically verify kernel cost contracts and "
+                            "whole-program plan/obs invariants")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as failures")
     p.add_argument("--passes", default="",
                    help="comma-separated subset of passes "
-                        "(ast,contracts,intervals,memory)")
+                        "(ast,contracts,intervals,memory,cache-key,"
+                        "determinism,parallel-safety,obs-contract)")
     p.add_argument("--extra-module", action="append", default=[],
                    metavar="MODULE",
                    help="also lint kernels in this importable module "
                         "(repeatable)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="subtract the accepted findings recorded in FILE; "
+                        "only new findings affect the exit code")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="snapshot the current findings to FILE as the "
+                        "accepted set, then exit 0")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("trace",

@@ -1,0 +1,91 @@
+"""Accepted-findings baseline: old findings don't block CI, new ones do.
+
+A whole-program pass landing on an existing tree may surface findings that
+are understood and accepted (or queued for a later fix).  Rather than
+sprinkling ``allow`` directives for them or blocking CI, the accepted set
+is recorded in a committed baseline file; ``repro lint --baseline FILE``
+subtracts it from the report, so only *new* findings fail the build.
+
+Fingerprints are deliberately line-insensitive — ``pass/rule/where-or-file
+basename/message`` — so unrelated edits shifting line numbers don't
+invalidate the baseline, while any change to the finding itself (different
+rule, different message, different location) registers as new.
+
+File format (``repro-lint-baseline/1``)::
+
+    {
+      "schema": "repro-lint-baseline/1",
+      "accepted": ["determinism/wall-clock/bench.py/...", ...]
+    }
+
+``--write-baseline FILE`` snapshots the current report's findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os.path
+from typing import List, Set
+
+from repro.errors import ConfigurationError
+from repro.lint.report import LintReport, Violation
+
+__all__ = ["BASELINE_SCHEMA", "apply_baseline", "fingerprint",
+           "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+def fingerprint(v: Violation) -> str:
+    """Stable, line-insensitive identity of one finding."""
+    if v.file is not None:
+        loc = os.path.basename(v.file)
+    else:
+        loc = v.where or "<unknown>"
+    return f"{v.pass_name}/{v.rule}/{loc}/{v.message}"
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The accepted fingerprints recorded in ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            blob = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read lint baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"lint baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(blob, dict) or blob.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"lint baseline {path!r} is not a {BASELINE_SCHEMA} file")
+    accepted = blob.get("accepted", [])
+    if not isinstance(accepted, list) or \
+            not all(isinstance(a, str) for a in accepted):
+        raise ConfigurationError(
+            f"lint baseline {path!r}: 'accepted' must be a list of strings")
+    return set(accepted)
+
+
+def write_baseline(report: LintReport, path: str) -> int:
+    """Snapshot every finding in ``report`` as the accepted set."""
+    accepted = sorted({fingerprint(v) for v in report.violations})
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"schema": BASELINE_SCHEMA, "accepted": accepted}, fh,
+                  indent=2)
+        fh.write("\n")
+    return len(accepted)
+
+
+def apply_baseline(report: LintReport, accepted: Set[str]) -> int:
+    """Remove accepted findings from ``report``; returns how many."""
+    kept: List[Violation] = []
+    suppressed = 0
+    for v in report.violations:
+        if fingerprint(v) in accepted:
+            suppressed += 1
+        else:
+            kept.append(v)
+    report.violations = kept
+    report.suppressed += suppressed
+    return suppressed

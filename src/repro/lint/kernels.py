@@ -36,6 +36,7 @@ __all__ = [
     "KernelDef",
     "iter_kernel_defs",
     "iter_method_instances",
+    "iter_module_sources",
 ]
 
 #: Packages whose kernels the AST pass walks.  ``repro.isa`` implements the
@@ -126,6 +127,24 @@ def _module_files(packages: Sequence[str],
         if path and name not in seen:
             seen.add(name)
             yield name, path
+
+
+def iter_module_sources(
+    packages: Sequence[str],
+    extra_modules: Sequence[str] = (),
+) -> Iterator[Tuple[str, str, str]]:
+    """Yield ``(module_name, file_path, source)`` for every module to scan.
+
+    The file-based counterpart of :func:`_module_files` used by the
+    whole-program passes (determinism, obs-contract): packages are walked
+    recursively, sources are read from disk, unreadable files are skipped.
+    """
+    for module_name, path in _module_files(packages, extra_modules):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                yield module_name, path, fh.read()
+        except OSError:
+            continue
 
 
 class _DefCollector(ast.NodeVisitor):

@@ -1,0 +1,245 @@
+"""Obs-contract lint: spans close on all paths, metrics are declared.
+
+The observability layer (``repro.obs``) is the substrate every performance
+claim in this repo reports through, so its own discipline is worth machine-
+checking:
+
+``span-unclosed`` (error)
+    Every ``span(...)`` / ``_span(...)`` / ``*.span(...)`` call must be the
+    context expression of a ``with`` statement.  ``with`` guarantees
+    ``__exit__`` on *every* path — exceptions included — which is exactly
+    the "every span opened is closed on all paths" proof; a span handle
+    bound outside ``with`` can leak open on an early raise and corrupt the
+    tracer's stack reconciliation.
+``undeclared-metric`` (error)
+    ``inc``/``observe`` (and registry ``value`` reads) must name a metric
+    declared in :mod:`repro.obs.catalog`.  First-use creation means a typo
+    silently forks a metric series; the catalog makes the namespace closed.
+``metric-kind-mismatch`` (error)
+    ``inc`` on a declared gauge or ``observe`` on a declared counter.
+``dynamic-metric-name`` (error)
+    A non-literal metric name whose shape is not a declared family.  An
+    f-string site is reduced to a pattern (interpolations become ``*``)
+    and accepted only when :data:`repro.obs.catalog.COUNTER_PATTERNS`
+    declares it — any other dynamic name fragments the namespace
+    uncheckably.
+``unused-metric`` (warning)
+    A catalog entry no analyzed module emits: dead declaration (or the
+    emit site moved out of the analyzed tree).
+
+``repro.obs.tracer`` and ``repro.obs.metrics`` are exempt — they implement
+the primitives being policed.  ``# lint: allow(reason)`` suppresses a
+finding on its line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.kernels import Directives, iter_module_sources
+from repro.lint.report import Violation
+
+__all__ = ["DEFAULT_PACKAGES", "EXEMPT_MODULES",
+           "check_obs_contract_source", "run_obs_contract"]
+
+#: The whole instrumented tree: spans and metrics appear across the plan,
+#: batch, pim, core and analysis layers, so the contract covers it all.
+DEFAULT_PACKAGES = ("repro",)
+
+#: Implementation modules of the primitives themselves.
+EXEMPT_MODULES = {"repro.obs.tracer", "repro.obs.metrics"}
+
+#: Call names that open a span.
+_SPAN_NAMES = {"span", "_span"}
+
+#: (attribute/function name, expected kind) of metric emit/read sites.
+_METRIC_CALLS = {"inc": "counter", "observe": "gauge", "value": "counter"}
+
+
+def _span_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _SPAN_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _SPAN_NAMES
+    return False
+
+
+def _metric_call(node: ast.Call) -> Optional[str]:
+    """The expected metric kind when ``node`` is an emit/read site."""
+    func = node.func
+    name = None
+    if isinstance(func, ast.Attribute):
+        # _metrics.inc(...), metrics.observe(...), registry.value(...)
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    return _METRIC_CALLS.get(name) if name in _METRIC_CALLS else None
+
+
+class _ObsLinter(ast.NodeVisitor):
+    """One module's span/metric contract scan."""
+
+    def __init__(self, module: str, file: str, directives: Directives,
+                 kind_of, pattern_kind_of):
+        self.module = module
+        self.file = file
+        self.directives = directives
+        self.kind_of = kind_of
+        self.pattern_kind_of = pattern_kind_of
+        self.violations: List[Violation] = []
+        self.span_sites = 0
+        self.metric_sites = 0
+        self.used_metrics: Set[str] = set()
+        self._with_items: Set[int] = set()
+
+    def _violate(self, node: ast.AST, rule: str, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if lineno in self.directives.allow:
+            return
+        self.violations.append(Violation(
+            pass_name="obs-contract", rule=rule, severity="error",
+            message=message, file=self.file, line=lineno, where=self.module,
+        ))
+
+    # ------------------------------------------------------------------
+
+    def run(self, tree: ast.Module) -> None:
+        # First collect every with-item context expression, then check the
+        # span calls against that set.
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    self._with_items.add(id(item.context_expr))
+        self.visit(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _span_call(node):
+            self.span_sites += 1
+            if id(node) not in self._with_items:
+                self._violate(
+                    node, "span-unclosed",
+                    "span opened outside a 'with' statement: only 'with' "
+                    "guarantees the span closes on every path, exceptions "
+                    "included",
+                )
+        kind = _metric_call(node)
+        if kind is not None and node.args:
+            self.metric_sites += 1
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value,
+                                                              str):
+                name = first.value
+                declared = self.kind_of(name)
+                if declared is None:
+                    self._violate(
+                        node, "undeclared-metric",
+                        f"metric {name!r} is not declared in "
+                        "repro.obs.catalog; first-use creation would fork "
+                        "the namespace on a typo",
+                    )
+                else:
+                    self.used_metrics.add(name)
+                    if declared != kind:
+                        self._violate(
+                            node, "metric-kind-mismatch",
+                            f"metric {name!r} is declared as a {declared} "
+                            f"but emitted as a {kind}",
+                        )
+            elif isinstance(first, ast.JoinedStr):
+                pattern = _fstring_pattern(first)
+                declared = self.pattern_kind_of(pattern)
+                if declared is None:
+                    self._violate(
+                        node, "dynamic-metric-name",
+                        f"dynamic metric family {pattern!r} is not "
+                        "declared in repro.obs.catalog patterns",
+                    )
+                else:
+                    self.used_metrics.add(pattern)
+                    if declared != kind:
+                        self._violate(
+                            node, "metric-kind-mismatch",
+                            f"metric family {pattern!r} is declared as a "
+                            f"{declared} but emitted as a {kind}",
+                        )
+            else:
+                self._violate(
+                    node, "dynamic-metric-name",
+                    "metric name is not a string literal or declared "
+                    "f-string family; the declaration contract cannot be "
+                    "checked statically",
+                )
+        self.generic_visit(node)
+
+
+def _fstring_pattern(node: ast.JoinedStr) -> str:
+    """An f-string's shape with every interpolated field as ``*``."""
+    parts = []
+    for v in node.values:
+        if isinstance(v, ast.Constant):
+            parts.append(str(v.value))
+        else:
+            parts.append("*")
+    return "".join(parts)
+
+
+def check_obs_contract_source(
+    source: str, *, module: str = "<module>", file: str = "<source>",
+    kind_of=None, pattern_kind_of=None,
+) -> Tuple[List[Violation], Set[str], Dict[str, int]]:
+    """Scan one module source; returns (violations, used names, stats)."""
+    from repro.obs.catalog import metric_kind, pattern_kind
+
+    linter = _ObsLinter(
+        module, file, Directives.parse(source),
+        kind_of if kind_of is not None else metric_kind,
+        pattern_kind_of if pattern_kind_of is not None else pattern_kind)
+    linter.run(ast.parse(source, filename=file))
+    stats = {"span_sites": linter.span_sites,
+             "metric_sites": linter.metric_sites}
+    return linter.violations, linter.used_metrics, stats
+
+
+def run_obs_contract(
+    packages: Sequence[str] = DEFAULT_PACKAGES,
+    extra_modules: Sequence[str] = (),
+    sources: Optional[Sequence[Tuple[str, str, str]]] = None,
+    check_unused: bool = True,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Scan every module in ``packages``; flag undeclared and unused."""
+    from repro.obs import catalog
+
+    if sources is None:
+        sources = iter_module_sources(tuple(packages) + tuple(extra_modules))
+    violations: List[Violation] = []
+    used: Set[str] = set()
+    span_sites = 0
+    metric_sites = 0
+    n = 0
+    for module, path, source in sources:
+        if module in EXEMPT_MODULES:
+            continue
+        n += 1
+        vs, names, stats = check_obs_contract_source(
+            source, module=module, file=path)
+        violations.extend(vs)
+        used.update(names)
+        span_sites += stats["span_sites"]
+        metric_sites += stats["metric_sites"]
+
+    if check_unused:
+        declared = set(catalog.COUNTERS) | set(catalog.GAUGES) \
+            | set(catalog.COUNTER_PATTERNS)
+        for name in sorted(declared - used):
+            violations.append(Violation(
+                pass_name="obs-contract", rule="unused-metric",
+                severity="warning",
+                message=f"metric {name!r} is declared in repro.obs.catalog "
+                        "but no analyzed module emits it",
+                file=catalog.__file__, where=name,
+            ))
+    stats = {"obs_modules": n, "span_sites": span_sites,
+             "metric_sites": metric_sites}
+    return violations, stats

@@ -60,6 +60,8 @@ class LintReport:
     #: What was covered, e.g. ``{"kernels": 70, "methods": 265}``.
     checked: Dict[str, int] = field(default_factory=dict)
     passes: List[str] = field(default_factory=list)
+    #: Findings removed by an accepted-findings baseline file.
+    suppressed: int = 0
 
     def extend(self, violations: List[Violation]) -> None:
         """Append the findings of one pass."""
@@ -93,6 +95,7 @@ class LintReport:
             "counts": {
                 "error": len(self.errors),
                 "warning": len(self.warnings),
+                "suppressed": self.suppressed,
             },
             "violations": [v.to_json() for v in self.violations],
         }
@@ -111,8 +114,10 @@ class LintReport:
             )
         coverage = ", ".join(f"{n} {k}" for k, n in sorted(self.checked.items()))
         ran = ",".join(self.passes) or "none"
+        baselined = f", {self.suppressed} baselined" if self.suppressed else ""
         lines.append(
             f"lint: {len(self.errors)} error(s), {len(self.warnings)} "
-            f"warning(s) across passes [{ran}] ({coverage or 'nothing checked'})"
+            f"warning(s){baselined} across passes [{ran}] "
+            f"({coverage or 'nothing checked'})"
         )
         return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Orchestrates the four lint passes into one report."""
+"""Orchestrates the lint passes — per-kernel and whole-program — into one report."""
 
 from __future__ import annotations
 
@@ -6,15 +6,28 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.lint.astlint import run_ast_lint
+from repro.lint.cachekey import run_cache_key
 from repro.lint.contracts import run_contracts
+from repro.lint.determinism import run_determinism
 from repro.lint.intervals import run_intervals
 from repro.lint.kernels import DEFAULT_PACKAGES, iter_method_instances
 from repro.lint.membudget import run_memory
+from repro.lint.obscontract import run_obs_contract
+from repro.lint.parallel import run_parallel_safety
 from repro.lint.report import LintReport
 
-__all__ = ["ALL_PASSES", "run_lint"]
+__all__ = ["ALL_PASSES", "KERNEL_PASSES", "PROGRAM_PASSES", "run_lint"]
 
-ALL_PASSES = ("ast", "contracts", "intervals", "memory")
+#: Per-kernel verifier passes (PR 1): one method/kernel at a time.
+KERNEL_PASSES = ("ast", "contracts", "intervals", "memory")
+
+#: Whole-program analyzer passes over repro.plan / repro.batch / repro.obs:
+#: cache-key soundness, nondeterminism sources, multiprocessing readiness,
+#: and the span/metric contract.
+PROGRAM_PASSES = ("cache-key", "determinism", "parallel-safety",
+                  "obs-contract")
+
+ALL_PASSES = KERNEL_PASSES + PROGRAM_PASSES
 
 
 def run_lint(
@@ -28,6 +41,8 @@ def run_lint(
     ``methods`` injects pre-built method instances (used by the seeded-
     violation tests); by default every supported (method, function) pair is
     built once with library defaults and shared across the instance passes.
+    ``extra_modules`` widens the AST, determinism and obs-contract scans to
+    additional importable modules.
     """
     unknown = [p for p in passes if p not in ALL_PASSES]
     if unknown:
@@ -55,4 +70,21 @@ def run_lint(
             report.extend(run_intervals(methods)[0])
         if "memory" in passes:
             report.extend(run_memory(methods)[0])
+
+    if "cache-key" in passes:
+        violations, stats = run_cache_key()
+        report.extend(violations)
+        report.checked.update(stats)
+    if "determinism" in passes:
+        violations, stats = run_determinism(extra_modules=extra_modules)
+        report.extend(violations)
+        report.checked.update(stats)
+    if "parallel-safety" in passes:
+        violations, stats = run_parallel_safety()
+        report.extend(violations)
+        report.checked.update(stats)
+    if "obs-contract" in passes:
+        violations, stats = run_obs_contract(extra_modules=extra_modules)
+        report.extend(violations)
+        report.checked.update(stats)
     return report

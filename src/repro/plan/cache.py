@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -43,44 +43,74 @@ __all__ = ["PlanCache", "PlanKey", "plan_signature", "table_signature"]
 _PRIMITIVE = (bool, int, float, str, np.floating, np.integer, np.bool_)
 
 
-def _method_parts(method: Method, include_placement: bool) -> list:
-    """Every primitive field that can change this method's numbers.
+def _typed(value) -> Tuple[str, object]:
+    """A primitive as a (type-tag, canonical value) pair.
+
+    The tag keeps distinct types with equal string forms apart (``1`` vs
+    ``"1"`` vs ``True``); floats canonicalize through ``hex()`` so the
+    component is bit-exact and independent of repr formatting.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return ("b", bool(value))
+    if isinstance(value, (int, np.integer)):
+        return ("i", int(value))
+    if isinstance(value, (float, np.floating)):
+        return ("f", float(value).hex())
+    return ("s", str(value))
+
+
+def _costs_parts(costs: OpCosts) -> Tuple[Tuple[str, Tuple[str, object]], ...]:
+    """The op-cost table as sorted (field, typed value) pairs."""
+    return tuple((f.name, _typed(getattr(costs, f.name)))
+                 for f in sorted(fields(costs), key=lambda f: f.name))
+
+
+def _method_parts(method: Method, include_placement: bool) -> tuple:
+    """Every field that can change this method's numbers, as typed tuples.
 
     Recurses into sub-Methods (composites like DL-LUT and the tan quotient
-    keep their knobs on their parts) and into the geometry record; the
-    op-cost table rides along via its frozen-dataclass repr.
+    keep their knobs on their parts) and into the geometry record.  The
+    structure is pure nested tuples of tagged primitives — no object reprs,
+    which can churn across refactors or collide across distinct values —
+    so its canonical encoding is a stable cache-key component (enforced by
+    the ``cache-key`` lint pass, rule ``key-unstable-component``).
     """
     from repro.core.tablecache import cache_signature
 
-    parts = [cache_signature(method), f"air={method.assume_in_range!r}",
-             f"costs={method.costs!r}"]
+    parts = [("table", ("s", cache_signature(method))),
+             ("air", _typed(method.assume_in_range)),
+             ("costs", _costs_parts(method.costs))]
     if include_placement:
-        parts.append(f"placement={method.placement}")
+        parts.append(("placement", ("s", str(method.placement))))
     for name, value in sorted(vars(method).items()):
         if name.startswith("_") or name == "placement":
             continue
         if isinstance(value, _PRIMITIVE):
-            parts.append(f"{name}={value!r}")
+            parts.append((name, _typed(value)))
         elif isinstance(value, Method):
-            parts.append(
-                f"{name}=<" + "|".join(
-                    _method_parts(value, include_placement)) + ">")
-    return parts
+            parts.append((name, _method_parts(value, include_placement)))
+    return tuple(parts)
+
+
+def _digest(parts: tuple) -> str:
+    """Stable 24-hex digest of a nested typed-tuple structure.
+
+    ``repr`` here is unambiguous: every leaf is a tagged primitive tuple,
+    so equal structures encode equally and distinct ones cannot collide
+    textually.
+    """
+    return hashlib.sha256(repr(parts).encode()).hexdigest()[:24]
 
 
 def table_signature(method: Method) -> str:
     """Placement-independent identity of a method's built table image."""
-    digest = hashlib.sha256(
-        "|".join(_method_parts(method, include_placement=False)).encode()
-    ).hexdigest()[:24]
+    digest = _digest(_method_parts(method, include_placement=False))
     return f"{method.method_name}-{method.spec.name}-{digest}"
 
 
 def plan_signature(method: Method) -> str:
     """Full launch-relevant identity (table image + placement)."""
-    digest = hashlib.sha256(
-        "|".join(_method_parts(method, include_placement=True)).encode()
-    ).hexdigest()[:24]
+    digest = _digest(_method_parts(method, include_placement=True))
     return f"{method.method_name}-{method.spec.name}-{digest}"
 
 

@@ -40,9 +40,29 @@ from repro.pim.system import PIMSystem, SystemRunResult
 from repro.plan.plan import ExecutionPlan
 
 __all__ = ["ShardResult", "ShardedRunResult", "shard_split",
-           "execute_sharded"]
+           "spawn_shard_rngs", "execute_sharded"]
 
 _F32 = np.float32
+
+
+def spawn_shard_rngs(
+    rng: Optional[np.random.Generator], n_shards: int,
+) -> List[Optional[np.random.Generator]]:
+    """Independent per-shard generators derived from one parent seed.
+
+    Handing the *same* generator to every shard couples them through shared
+    state: each shard's draw depends on how many shards ran before it, so
+    results change under reordering or a process pool.  Spawning child
+    generators up front makes every shard reproducible from the single
+    parent seed regardless of execution order — the property the
+    determinism lint pass (``unthreaded-rng``) enforces statically.
+    """
+    if rng is None:
+        return [None] * n_shards
+    if hasattr(rng, "spawn"):  # numpy >= 1.25
+        return list(rng.spawn(n_shards))
+    seeds = rng.integers(0, 2**63 - 1, size=n_shards)
+    return [np.random.default_rng(int(s)) for s in seeds]
 
 
 def shard_split(n_elements: int, n_dpus: int,
@@ -179,6 +199,12 @@ def execute_sharded(
     per-shard sequence of length ``n_shards``; ``None`` uses the plan's.
     All shard sub-plans share the parent plan's path-tally cache, so the
     scalar tracing cost of a cold plan is paid once, not per shard.
+
+    A caller ``rng`` seeds the whole dispatch: it is split into independent
+    per-shard child generators (:func:`spawn_shard_rngs`), so every shard's
+    sample draw is reproducible from the single seed and independent of
+    shard execution order — a prerequisite for lifting this loop onto a
+    ``multiprocessing`` pool (ROADMAP item 3).
     """
     inputs = np.asarray(inputs, dtype=_F32)
     n = int(virtual_n if virtual_n is not None else inputs.shape[0])
@@ -197,6 +223,7 @@ def execute_sharded(
 
     counts = [ne for ne, _ in split]
     pieces = _shard_inputs(inputs, counts, virtual_n)
+    shard_rngs = spawn_shard_rngs(rng, n_shards)
 
     shards: List[ShardResult] = []
     with _span("dispatch.run", n_shards=n_shards, overlap=overlap,
@@ -210,7 +237,7 @@ def execute_sharded(
             with _span("shard", index=i, n_elements=n_i,
                        n_dpus=dpus_i) as ssp:
                 r = plan.for_system(sub).execute(
-                    xs_i, virtual_n=vn_i, rng=rng, batch=batch,
+                    xs_i, virtual_n=vn_i, rng=shard_rngs[i], batch=batch,
                     imbalance=imbalances[i], span_name="shard.execute",
                 )
                 if overlap:

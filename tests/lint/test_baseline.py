@@ -1,0 +1,102 @@
+"""Baseline mechanism: accepted findings are subtracted, new ones are not."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    LintReport,
+    Violation,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _v(rule="wall-clock", message="reads the wall clock", line=10,
+       file="/abs/path/to/bench.py", where=None):
+    return Violation(pass_name="determinism", rule=rule, severity="error",
+                     message=message, file=file, line=line, where=where)
+
+
+class TestFingerprint:
+    def test_line_insensitive(self):
+        assert fingerprint(_v(line=10)) == fingerprint(_v(line=99))
+
+    def test_path_reduced_to_basename(self):
+        assert fingerprint(_v(file="/a/bench.py")) \
+            == fingerprint(_v(file="/b/c/bench.py"))
+        assert fingerprint(_v()).startswith(
+            "determinism/wall-clock/bench.py/")
+
+    def test_rule_and_message_distinguish(self):
+        assert fingerprint(_v(rule="id-keyed")) != fingerprint(_v())
+        assert fingerprint(_v(message="other")) != fingerprint(_v())
+
+    def test_where_fallback_when_fileless(self):
+        fp = fingerprint(_v(file=None, where="plan:sin:llut_i.system"))
+        assert "/plan:sin:llut_i.system/" in fp
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        report = LintReport(violations=[_v(), _v(rule="id-keyed")])
+        path = str(tmp_path / "bl.json")
+        n = write_baseline(report, path)
+        assert n == 2
+        blob = json.loads((tmp_path / "bl.json").read_text())
+        assert blob["schema"] == "repro-lint-baseline/1"
+        assert load_baseline(path) == {fingerprint(v)
+                                       for v in report.violations}
+
+    def test_write_dedupes_identical_fingerprints(self, tmp_path):
+        report = LintReport(violations=[_v(line=1), _v(line=2)])
+        path = str(tmp_path / "bl.json")
+        assert write_baseline(report, path) == 1
+
+
+class TestApply:
+    def test_accepted_findings_removed_new_kept(self):
+        old, new = _v(), _v(rule="id-keyed", message="id() varies")
+        report = LintReport(violations=[old, new])
+        n = apply_baseline(report, {fingerprint(old)})
+        assert n == 1
+        assert report.violations == [new]
+        assert report.suppressed == 1
+        assert report.exit_code() == 1  # the new finding still fails
+
+    def test_fully_baselined_report_passes(self):
+        v = _v()
+        report = LintReport(violations=[v])
+        apply_baseline(report, {fingerprint(v)})
+        assert report.violations == []
+        assert report.exit_code(strict=True) == 0
+        assert '"suppressed": 1' in json.dumps(report.to_json())
+        assert "1 baselined" in report.to_text()
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(p))
+
+    def test_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "other/9", "accepted": []}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(p))
+
+    def test_non_string_accepted_entries(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(
+            {"schema": "repro-lint-baseline/1", "accepted": [1, 2]}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(p))

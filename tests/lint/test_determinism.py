@@ -1,0 +1,121 @@
+"""Determinism pass: every seeded nondeterminism source is caught."""
+
+import textwrap
+
+from repro.lint import check_determinism_source, run_determinism
+
+# One planted defect per rule, plus benign look-alikes that must NOT fire.
+DEFECTS = textwrap.dedent("""
+    import random
+    import time
+
+    import numpy as np
+
+
+    def unseeded():
+        g = np.random.default_rng()          # unseeded-rng
+        h = np.random.default_rng(42)        # ok: explicit seed
+        return g, h
+
+
+    def legacy_global_state():
+        a = np.random.uniform(0, 1)          # unseeded-rng
+        b = random.random()                  # unseeded-rng
+        return a, b
+
+
+    def wall_clock():
+        t = time.time()                      # wall-clock
+        m = time.monotonic()                 # ok: measurement clock
+        p = time.perf_counter()              # ok: measurement clock
+        return t, m, p
+
+
+    def id_keyed(objs):
+        return {id(o): o for o in objs}      # id-keyed
+
+
+    def set_order(items):
+        out = []
+        for x in {1, 2, 3}:                  # set-iteration
+            out.append(x)
+        for x in sorted(set(items)):         # ok: sorted wrapper
+            out.append(x)
+        return out
+
+
+    def shared_rng_in_loop(shards, rng):
+        out = []
+        for s in shards:
+            out.append(s.run(rng=rng))       # unthreaded-rng
+        out.append(shards[0].run(rng=rng))   # ok: outside the loop
+        return out
+
+
+    def suppressed():
+        return time.time()  # lint: allow(snapshot metadata, test fixture)
+""")
+
+
+def _line_of(snippet: str) -> int:
+    for i, line in enumerate(DEFECTS.splitlines(), start=1):
+        if snippet in line:
+            return i
+    raise AssertionError(f"snippet {snippet!r} not found")
+
+
+def _violations():
+    return check_determinism_source(
+        DEFECTS, module="tests.determinism_defects", file="<defects>")
+
+
+class TestSeededDefects:
+    def test_each_defect_flagged_with_exact_line(self):
+        got = {(v.line, v.rule) for v in _violations()}
+        assert got == {
+            (_line_of("default_rng()          # unseeded"), "unseeded-rng"),
+            (_line_of("np.random.uniform"), "unseeded-rng"),
+            (_line_of("random.random()"), "unseeded-rng"),
+            (_line_of("time.time()                      #"), "wall-clock"),
+            (_line_of("id(o)"), "id-keyed"),
+            (_line_of("for x in {1, 2, 3}"), "set-iteration"),
+            (_line_of("s.run(rng=rng)"), "unthreaded-rng"),
+        }
+
+    def test_severity_and_attribution(self):
+        for v in _violations():
+            assert v.severity == "error"
+            assert v.pass_name == "determinism"
+            assert v.where.startswith("tests.determinism_defects.")
+
+    def test_allow_directive_suppresses(self):
+        allowed = _line_of("lint: allow(snapshot metadata")
+        assert all(v.line != allowed for v in _violations())
+
+    def test_unthreaded_rng_attributed_to_function(self):
+        v = next(v for v in _violations() if v.rule == "unthreaded-rng")
+        assert v.where.endswith(".shared_rng_in_loop")
+
+    def test_rng_forwarding_outside_rng_function_not_flagged(self):
+        # The function has no ``rng`` parameter: a local generator being
+        # reused across iterations is that function's own business.
+        src = textwrap.dedent("""
+            import numpy as np
+            def local(shards):
+                rng = np.random.default_rng(7)
+                return [s.run(rng=rng) for s in shards]
+        """)
+        assert check_determinism_source(src) == []
+
+
+class TestCleanTree:
+    def test_shipped_plan_batch_obs_modules_are_clean(self):
+        violations, stats = run_determinism()
+        assert violations == []
+        assert stats["determinism_modules"] >= 12
+
+    def test_injected_sources_override_discovery(self):
+        violations, stats = run_determinism(
+            sources=[("m", "<f>", "import time\nx = time.time()\n")])
+        assert stats == {"determinism_modules": 1}
+        assert [v.rule for v in violations] == ["wall-clock"]

@@ -1,0 +1,126 @@
+"""Parallel-safety pass: planted poison objects are found with exact paths;
+the shipped plan artifacts are certified process-portable."""
+
+import io
+import pickle
+import threading
+import weakref
+
+import numpy as np
+
+from repro.api import make_method
+from repro.lint import check_parallel_safety, run_parallel_safety
+from repro.pim.config import SystemConfig
+from repro.pim.system import PIMSystem
+from repro.plan.plan import compile_plan
+
+
+class _Carrier:
+    """Plain object whose attributes the walk must traverse."""
+
+    def __init__(self, **attrs):
+        for k, v in attrs.items():
+            setattr(self, k, v)
+
+
+def _rules(violations):
+    return sorted(v.rule for v in violations)
+
+
+class TestSeededPoison:
+    def test_lock_deep_in_graph(self):
+        obj = _Carrier(meta={"inner": [_Carrier(guard=threading.Lock())]})
+        violations = check_parallel_safety(obj, "plan")
+        assert "lock-held" in _rules(violations)
+        lock = next(v for v in violations if v.rule == "lock-held")
+        assert lock.where == "plan.meta['inner'][0].guard"
+        assert lock.severity == "error"
+
+    def test_condition_counts_as_lock(self):
+        violations = check_parallel_safety(
+            _Carrier(cond=threading.Condition()), "t")
+        assert "lock-held" in _rules(violations)
+
+    def test_open_file_handle(self):
+        violations = check_parallel_safety(
+            _Carrier(log=io.StringIO("x")), "t")
+        assert "handle-held" in _rules(violations)
+        assert any(v.where == "t.log" for v in violations)
+
+    def test_lambda(self):
+        violations = check_parallel_safety(_Carrier(fn=lambda x: x), "t")
+        assert "unpicklable" in _rules(violations)
+        assert any("lambda" in v.message for v in violations)
+
+    def test_live_generator(self):
+        violations = check_parallel_safety(
+            _Carrier(stream=(i for i in range(3))), "t")
+        assert "unpicklable" in _rules(violations)
+
+    def test_module_reference(self):
+        violations = check_parallel_safety(_Carrier(np=np), "t")
+        assert "unpicklable" in _rules(violations)
+
+    def test_weakref(self):
+        target = _Carrier()
+        violations = check_parallel_safety(
+            _Carrier(ref=weakref.ref(target)), "t")
+        assert "unpicklable" in _rules(violations)
+
+    def test_pickle_failure_reported_even_when_walk_is_blind(self):
+        # __reduce__ raising is invisible to the structural walk; the
+        # round-trip ground truth must still catch it.
+        class Stubborn:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        violations = check_parallel_safety(_Carrier(s=Stubborn()), "t")
+        assert "pickle-failed" in _rules(violations)
+        failed = next(v for v in violations if v.rule == "pickle-failed")
+        assert "nope" in failed.message
+
+    def test_clean_object_graph(self):
+        obj = _Carrier(
+            xs=np.arange(8, dtype=np.float32),
+            name="ok", nested=_Carrier(flags=(True, None, 2.5)),
+            table={"a": [1, 2], "b": {3, 4}},
+        )
+        assert check_parallel_safety(obj, "t") == []
+
+    def test_cycles_terminate(self):
+        a = _Carrier()
+        a.me = a
+        assert check_parallel_safety(a, "t") == []
+
+
+class TestShippedArtifacts:
+    def test_default_targets_certified(self):
+        violations, stats = run_parallel_safety()
+        assert violations == []
+        assert stats["parallel_targets"] >= 7
+
+    def test_executed_plan_pickle_round_trip_is_bit_exact(self, rng):
+        # The acceptance criterion: an ExecutionPlan crosses a process
+        # boundary and still produces identical numbers — with its runtime
+        # caches populated, not empty.
+        system = PIMSystem(SystemConfig(n_dpus=16))
+        plan = compile_plan(
+            system, make_method("sin", "llut_i", density_log2=8,
+                                assume_in_range=False))
+        xs = rng.uniform(-4, 4, 400).astype(np.float32)
+        before = plan.execute(xs)
+        assert len(plan.tally_cache) > 0
+
+        clone = pickle.loads(pickle.dumps(plan))
+        after = clone.execute(xs)
+        assert after.total_seconds == before.total_seconds
+        assert after.kernel_seconds == before.kernel_seconds
+        assert after.host_to_pim_seconds == before.host_to_pim_seconds
+        assert after.pim_to_host_seconds == before.pim_to_host_seconds
+        assert check_parallel_safety(clone, "clone") == []
+
+    def test_injected_targets_override_defaults(self):
+        violations, stats = run_parallel_safety(
+            targets=[("bad", _Carrier(guard=threading.Lock()))])
+        assert stats == {"parallel_targets": 1}
+        assert _rules(violations) == ["lock-held", "pickle-failed"]

@@ -32,7 +32,7 @@ class TestReport:
         report = LintReport(violations=[_v("error")], checked={"kernels": 1},
                             passes=("ast",))
         blob = json.loads(json.dumps(report.to_json()))
-        assert blob["counts"] == {"error": 1, "warning": 0}
+        assert blob["counts"] == {"error": 1, "warning": 0, "suppressed": 0}
         assert blob["violations"][0]["rule"] == "uncounted-op"
 
     def test_text_report_mentions_location(self):
@@ -58,9 +58,27 @@ class TestRunner:
         assert "methods" in report.checked
         assert "kernels" not in report.checked
 
+    def test_program_pass_subset_skips_kernel_work(self):
+        report = run_lint(passes=("determinism", "obs-contract"))
+        assert "determinism_modules" in report.checked
+        assert "obs_modules" in report.checked
+        assert "kernels" not in report.checked
+        assert "methods" not in report.checked
+
+    def test_pass_constant_partition(self):
+        from repro.lint import ALL_PASSES, KERNEL_PASSES, PROGRAM_PASSES
+        assert ALL_PASSES == KERNEL_PASSES + PROGRAM_PASSES
+        assert PROGRAM_PASSES == ("cache-key", "determinism",
+                                  "parallel-safety", "obs-contract")
+
     def test_shipped_tree_is_fully_clean(self):
         report = run_lint()
         assert report.violations == []
         assert report.checked["kernels"] >= 80
         assert report.checked["methods"] >= 200
+        # The whole-program passes ran and covered the plan/obs layers.
+        assert report.checked["key_fields"] == 8
+        assert report.checked["determinism_modules"] >= 12
+        assert report.checked["parallel_targets"] >= 7
+        assert report.checked["obs_modules"] >= 90
         assert report.exit_code(strict=True) == 0

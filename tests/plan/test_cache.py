@@ -159,3 +159,57 @@ class TestPlanCache:
         cache.plan(system, _method())
         cache.clear()
         assert len(cache) == 0 and cache.stats()["methods"] == 0
+
+
+class TestPlanCacheEdges:
+    def test_maxsize_one_eviction_order(self, system):
+        # A one-slot cache must evict on every alternation but still hit
+        # on immediate re-use.
+        cache = PlanCache(maxsize=1)
+        a = cache.plan(system, _method(density_log2=6))
+        assert cache.plan(system, _method(density_log2=6)) is a
+        b = cache.plan(system, _method(density_log2=7))  # evicts a
+        assert len(cache) == 1
+        assert cache.evictions == 1
+        assert cache.plan(system, _method(density_log2=7)) is b
+        a2 = cache.plan(system, _method(density_log2=6))  # evicts b
+        assert a2 is not a
+        assert cache.evictions == 2
+        assert cache.hits == 2 and cache.misses == 3
+
+    def test_stats_after_clear_resets_sizes_keeps_counters(self, system):
+        cache = PlanCache()
+        cache.plan(system, _method())
+        cache.plan(system, _method())  # hit
+        before = cache.stats()
+        assert before["plans"] == 1 and before["methods"] == 1
+        cache.clear()
+        after = cache.stats()
+        assert after["plans"] == 0 and after["methods"] == 0
+        # Clearing drops entries, not the lifetime counters.
+        assert after["hits"] == before["hits"] == 1
+        assert after["misses"] == before["misses"] == 1
+        # A post-clear lookup rebuilds: a fresh miss on both tiers.
+        cache.plan(system, _method())
+        assert cache.misses == 2 and cache.table_misses == 2
+
+    def test_pool_sharing_survives_placement_rebinding(self, system, rng):
+        import numpy as np
+        cache = PlanCache()
+        xs = rng.uniform(-4, 4, 400).astype(np.float32)
+        p_mram = cache.plan(system, _method(placement="mram"))
+        p_wram = cache.plan(system, _method(placement="wram"))
+        # Execute alternately so the shared method rebinds each time.
+        r_wram1 = p_wram.execute(xs)
+        r_mram1 = p_mram.execute(xs)
+        r_wram2 = p_wram.execute(xs)
+        assert p_wram.method.placement == "wram"
+        assert r_wram2.kernel_seconds == r_wram1.kernel_seconds
+        # Rebinding must not fork the pooled build or miss the cache.
+        assert cache.plan(system, _method(placement="mram")) is p_mram
+        assert cache.plan(system, _method(placement="wram")) is p_wram
+        assert p_mram.method is p_wram.method
+        assert cache.table_misses == 1 and cache.table_hits == 1
+        # And the rebound numbers still match dedicated uncached methods.
+        direct = system.run(_method(placement="mram").setup().evaluate, xs)
+        assert r_mram1.kernel_seconds == direct.kernel_seconds

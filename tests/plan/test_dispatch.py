@@ -9,7 +9,7 @@ from repro.obs.metrics import collecting
 from repro.obs.tracer import Tracer, tracing
 from repro.pim.config import SystemConfig
 from repro.pim.system import PIMSystem
-from repro.plan.dispatch import execute_sharded, shard_split
+from repro.plan.dispatch import execute_sharded, shard_split, spawn_shard_rngs
 from repro.plan.plan import compile_plan
 
 _F32 = np.float32
@@ -159,6 +159,53 @@ class TestSharedTracing:
     def test_empty_input_rejected(self, plan):
         with pytest.raises(SimulationError):
             execute_sharded(plan, np.empty(0, dtype=_F32), n_shards=2)
+
+
+class TestRngThreading:
+    """Per-shard generators: one seed reproduces the whole dispatch."""
+
+    def test_spawn_none_passthrough(self):
+        assert spawn_shard_rngs(None, 3) == [None, None, None]
+
+    def test_spawn_children_are_independent_and_reproducible(self):
+        a = spawn_shard_rngs(np.random.default_rng(7), 3)
+        b = spawn_shard_rngs(np.random.default_rng(7), 3)
+        draws_a = [g.integers(0, 1 << 30, size=4).tolist() for g in a]
+        draws_b = [g.integers(0, 1 << 30, size=4).tolist() for g in b]
+        assert draws_a == draws_b  # same parent seed -> same children
+        assert len({tuple(d) for d in draws_a}) == 3  # distinct streams
+
+    def test_same_seed_reproduces_sharded_dispatch(self, plan, xs):
+        r1 = execute_sharded(plan, xs, n_shards=4,
+                             rng=np.random.default_rng(11))
+        r2 = execute_sharded(plan, xs, n_shards=4,
+                             rng=np.random.default_rng(11))
+        assert r1.total_seconds == r2.total_seconds
+        for s1, s2 in zip(r1.shards, r2.shards):
+            assert s1.result.kernel_seconds == s2.result.kernel_seconds
+
+    def test_shard_result_independent_of_sibling_shards(self, plan, xs):
+        # Regression: the dispatcher used to forward ONE generator into
+        # every shard, so shard i's sample draw depended on how many
+        # shards ran before it.  With spawned children, shard i run in
+        # isolation is bit-identical to shard i inside the dispatch — the
+        # property a process pool requires.
+        from dataclasses import replace
+
+        n_shards = 3
+        r = execute_sharded(plan, xs, n_shards=n_shards,
+                            rng=np.random.default_rng(23))
+        split = shard_split(len(xs), plan.system.config.n_dpus, n_shards)
+        children = spawn_shard_rngs(np.random.default_rng(23), n_shards)
+        offset = 0
+        for i, (n_i, dpus_i) in enumerate(split):
+            sub = PIMSystem(replace(plan.system.config, n_dpus=dpus_i),
+                            plan.system.costs)
+            alone = plan.for_system(sub).execute(
+                xs[offset:offset + n_i], rng=children[i])
+            offset += n_i
+            assert alone.kernel_seconds == r.shards[i].result.kernel_seconds
+            assert alone.total_seconds == r.shards[i].result.total_seconds
 
 
 class TestObservability:

@@ -124,8 +124,40 @@ class TestLint:
         assert main(["lint", "--json", "--passes", "ast,memory"]) == 0
         blob = json.loads(capsys.readouterr().out)
         assert blob["passes"] == ["ast", "memory"]
-        assert blob["counts"] == {"error": 0, "warning": 0}
+        assert blob["counts"] == {"error": 0, "warning": 0, "suppressed": 0}
         assert blob["violations"] == []
+
+    def test_program_passes_with_baseline(self, capsys, tmp_path):
+        import json
+        bl = tmp_path / "bl.json"
+        bl.write_text(json.dumps(
+            {"schema": "repro-lint-baseline/1", "accepted": []}))
+        assert main(["lint", "--strict", "--passes",
+                     "cache-key,determinism,parallel-safety,obs-contract",
+                     "--baseline", str(bl)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_bad_baseline_is_a_usage_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["lint", "--baseline", str(bad)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_write_baseline_snapshots_findings(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "bl.json"
+        assert main(["lint", "--passes", "ast",
+                     "--extra-module", "tests.lint.broken_kernels",
+                     "--write-baseline", str(out_path)]) == 0
+        blob = json.loads(out_path.read_text())
+        assert blob["schema"] == "repro-lint-baseline/1"
+        assert len(blob["accepted"]) > 0
+        # Re-running against the snapshot passes: all findings accepted.
+        assert main(["lint", "--strict", "--passes", "ast",
+                     "--extra-module", "tests.lint.broken_kernels",
+                     "--baseline", str(out_path)]) == 0
+        assert "baselined" in capsys.readouterr().out
 
     def test_unknown_pass_is_a_usage_error(self, capsys):
         assert main(["lint", "--passes", "bogus"]) == 2
