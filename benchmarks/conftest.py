@@ -28,6 +28,7 @@ BENCH_SEEDS = {
     "ablation_fixed_cordic": 7,
     "sine_sweep": 7,  # conftest's own sine_points fixture
     "plan_cache": 7,
+    "pool_scaling": 7,
 }
 
 

@@ -16,6 +16,7 @@ Usage::
     python -m repro bench [--emit FILE] [--quick] [--check-fig5]
     python -m repro plan FUNCTION METHOD [knob=value ...] [--n N --shards S]
     python -m repro run FUNCTION METHOD [--n N --repeat R --shards S --overlap]
+                        [--workers W --start-method fork|spawn --timeout S]
 """
 
 from __future__ import annotations
@@ -285,20 +286,33 @@ def _cmd_run(args) -> int:
     system = PIMSystem()
     cache = PlanCache()
     plan = cache.plan(system, m, tasklets=args.tasklets)
+    pool = None
+    if args.shards > 1 and args.workers is not None and args.workers > 1:
+        # One pool for every --repeat launch: the plan ships to the
+        # workers once, later launches reuse the warm worker caches.
+        from repro.plan.pool import ShardPool
+        pool = ShardPool(args.workers, start_method=args.start_method,
+                         timeout=args.timeout)
     rows = []
-    for i in range(args.repeat):
-        if args.shards > 1:
-            r = execute_sharded(plan, xs, n_shards=args.shards,
-                                overlap=args.overlap)
-            extra = (f"{r.n_shards} shards"
-                     + (f", saved {r.overlap_saving_seconds * 1e3:.3f} ms"
-                        if args.overlap else ""))
-        else:
-            r = plan.execute(xs)
-            extra = ""
-        rows.append((i, f"{r.total_seconds * 1e3:.3f} ms",
-                     f"{r.kernel_seconds * 1e3:.3f} ms",
-                     r.n_dpus_used, extra))
+    try:
+        for i in range(args.repeat):
+            if args.shards > 1:
+                r = execute_sharded(plan, xs, n_shards=args.shards,
+                                    overlap=args.overlap, pool=pool,
+                                    timeout=args.timeout)
+                extra = (f"{r.n_shards} shards"
+                         + (f" x {args.workers} workers" if pool else "")
+                         + (f", saved {r.overlap_saving_seconds * 1e3:.3f} ms"
+                            if args.overlap else ""))
+            else:
+                r = plan.execute(xs)
+                extra = ""
+            rows.append((i, f"{r.total_seconds * 1e3:.3f} ms",
+                         f"{r.kernel_seconds * 1e3:.3f} ms",
+                         r.n_dpus_used, extra))
+    finally:
+        if pool is not None:
+            pool.close()
     print(f"{args.function}:{args.method} over {args.n} elements, "
           f"{args.repeat} launch(es) on one compiled plan "
           f"({len(plan.tally_cache)} cached cost paths)")
@@ -456,6 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dispatch across this many disjoint DPU groups")
     p.add_argument("--overlap", action="store_true",
                    help="double-buffer: overlap transfers across shards")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run the shards on a multiprocess pool of this "
+                        "many workers (bit-identical to inline)")
+    p.add_argument("--start-method", default=None,
+                   choices=("fork", "spawn", "forkserver"),
+                   help="worker start method (default: platform default)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="pooled dispatch deadline in wall seconds")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("listing",

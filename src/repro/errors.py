@@ -45,3 +45,25 @@ class MemoryLayoutError(TransPimError):
 
 class SimulationError(TransPimError):
     """The PIM simulator was driven into an invalid state."""
+
+
+class PoolError(SimulationError):
+    """A multiprocess sharded dispatch failed.
+
+    Raised by :mod:`repro.plan.pool` when a worker raises, dies, or the
+    pool cannot be driven; the parent process always cleans up its shared
+    memory segments and never returns a half-aggregated result.
+    """
+
+    def __init__(self, message: str, shard_index: int = -1):
+        self.shard_index = shard_index
+        super().__init__(message)
+
+
+class PoolTimeoutError(PoolError):
+    """A pooled shard did not complete within the dispatch timeout.
+
+    Covers both genuinely slow shards and workers that hang or die
+    mid-shard without the pool noticing (the task's result then never
+    arrives).
+    """

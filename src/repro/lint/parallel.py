@@ -186,8 +186,10 @@ def default_targets() -> List[Tuple[str, object]]:
     from repro.api import make_method
     from repro.pim.config import SystemConfig
     from repro.pim.system import PIMSystem
-    from repro.plan.dispatch import execute_sharded, shard_split
+    from repro.plan.dispatch import (execute_sharded, shard_split,
+                                     spawn_shard_rngs)
     from repro.plan.plan import TransferSchedule, compile_plan
+    from repro.plan.pool import ShardTask, ship_plan, unlink_shipment
 
     system = PIMSystem(SystemConfig(n_dpus=8))
     xs = np.linspace(0.1, 0.9, 200, dtype=np.float32)
@@ -200,8 +202,23 @@ def default_targets() -> List[Tuple[str, object]]:
         plan = compile_plan(system, m)
         plan.execute(xs)
         targets.append((f"plan:{func}:{meth}", plan))
-    sharded = execute_sharded(targets[-1][1], xs, n_shards=2)
+    last_plan = targets[-1][1]
+    sharded = execute_sharded(last_plan, xs, n_shards=2)
     targets.append(("shard_results", sharded.shards))
+    # The pooled-dispatch wire artifacts: exactly what execute_sharded
+    # ships across the process boundary when workers are in play.
+    shipment = ship_plan(last_plan)
+    try:
+        task = ShardTask(
+            shipment=shipment, index=0, n_dpus=4, inputs=xs[:100],
+            virtual_n=None, imbalance=None,
+            rng=spawn_shard_rngs(np.random.default_rng(3), 2)[0],
+            batch=True, capture_trace=False, capture_metrics=False,
+        )
+        targets.append(("pool_shard_task", task))
+        targets.append(("pool_shipment", shipment))
+    finally:
+        unlink_shipment(shipment)
     return targets
 
 

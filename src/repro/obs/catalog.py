@@ -32,6 +32,10 @@ COUNTERS: Dict[str, str] = {
     # sharded dispatch
     "dispatch.runs": "execute_sharded invocations",
     "dispatch.shards": "shard launches across all dispatches",
+    # multiprocess pool dispatch
+    "dispatch.pool.dispatches": "pooled execute_sharded invocations",
+    "dispatch.pool.tasks": "shard tasks run on pool workers",
+    "dispatch.pool.shipments": "plan payloads shipped to worker pools",
     # compiled plans
     "plan.compiles": "ExecutionPlans compiled",
     "plan.executions": "plan.execute launches",
@@ -47,6 +51,7 @@ COUNTERS: Dict[str, str] = {
     # serving sessions
     "session.launches": "PlanSession.launch calls",
     "session.elements": "elements served across session launches",
+    "session.streams": "PlanSession.launch_stream calls",
     # sweep engine
     "sweep.points": "sweep configurations evaluated",
     "sweep.skipped_oversized": "sweep points skipped for table size",
@@ -70,6 +75,10 @@ COUNTER_PATTERNS: Dict[str, str] = {
 GAUGES: Dict[str, str] = {
     "dispatch.overlap_saving_seconds":
         "simulated seconds hidden by double-buffered dispatch",
+    "dispatch.pool.worker_utilization":
+        "fraction of pool wall-time the workers spent on shard tasks",
+    "session.stream_saving_seconds":
+        "simulated seconds hidden by pipelining a launch stream",
     "dpu.dma_hidden_fraction":
         "fraction of DMA time hidden behind compute",
     "tablecache.bytes": "resident bytes in the table cache",

@@ -69,6 +69,22 @@ class Gauge:
         self.max = value if self.max is None else max(self.max, value)
         self.count += 1
 
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Fold another gauge's ``to_dict`` payload into this one.
+
+        ``last`` takes the merged-in value (the observations being folded
+        happened after this registry's), min/max widen, counts add.  Used
+        to reconcile worker-process registries into the parent's.
+        """
+        if payload.get("count", 0) == 0:
+            return
+        self.last = payload["last"]
+        self.min = payload["min"] if self.min is None \
+            else min(self.min, payload["min"])
+        self.max = payload["max"] if self.max is None \
+            else max(self.max, payload["max"])
+        self.count += payload["count"]
+
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-ready)."""
         return {"type": "gauge", "last": self.last, "min": self.min,
@@ -100,6 +116,24 @@ class MetricsRegistry:
         """A counter's current value (``default`` when never incremented)."""
         c = self._counters.get(name)
         return default if c is None else c.value
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a ``to_dict`` snapshot from another registry into this one.
+
+        The pooled dispatcher collects each worker's metrics in a fresh
+        registry, ships the snapshot back (plain data), and merges it here
+        so pooled and inline dispatches report identical counters.
+        Counter values add; gauges merge via :meth:`Gauge.merge`.
+        """
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snapshot.get('schema')!r} (expected {METRICS_SCHEMA!r})")
+        for name, payload in snapshot.get("metrics", {}).items():
+            if payload.get("type") == "counter":
+                self.counter(name).inc(payload.get("value", 0))
+            else:
+                self.gauge(name).merge(payload)
 
     def to_dict(self) -> Dict[str, Any]:
         """Whole registry as plain data (JSON-ready), names sorted."""

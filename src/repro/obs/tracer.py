@@ -157,6 +157,22 @@ class Tracer:
         if self._stack:
             self._stack.pop()
 
+    def graft(self, span: Span) -> Span:
+        """Attach an already-completed span subtree to the current span.
+
+        The pooled dispatcher uses this to fold spans recorded by a worker
+        process's own tracer into the parent trace: the worker ships its
+        finished :class:`Span` tree back (spans are plain picklable data),
+        and the parent grafts it under whatever span is open — or as a new
+        root when none is.  The subtree is attached as-is; its wall-clock
+        timestamps are the worker's.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
     @property
     def current(self) -> Optional[Span]:
         """The innermost open span, or None."""

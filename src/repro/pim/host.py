@@ -52,14 +52,18 @@ class InstalledFunction:
 
     def run(self, x: np.ndarray, tasklets: int = 16,
             virtual_n: Optional[int] = None, shards: int = 1,
-            overlap: bool = False):
+            overlap: bool = False, workers: Optional[int] = None,
+            pool=None, start_method: Optional[str] = None,
+            timeout: Optional[float] = None):
         """Simulate a whole-system evaluation over ``x``.
 
         Launches go through the runtime's plan cache, so repeated calls are
         PlanCache-warm (no table rebuild, no re-tracing of seen cost paths)
         yet return numbers bit-identical to ``PIMSystem.run``.
         ``shards``/``overlap`` dispatch across disjoint DPU groups and
-        return a :class:`~repro.plan.dispatch.ShardedRunResult` instead.
+        return a :class:`~repro.plan.dispatch.ShardedRunResult` instead;
+        ``workers``/``pool`` run those shards on a multiprocess pool
+        (:mod:`repro.plan.pool`) with bit-identical results.
         """
         with _span("host.run", function=self.name) as sp:
             plan = self.runtime.plan(self.name, tasklets=tasklets)
@@ -68,7 +72,10 @@ class InstalledFunction:
                 from repro.plan.dispatch import execute_sharded
                 result = execute_sharded(plan, x, n_shards=shards,
                                          overlap=overlap,
-                                         virtual_n=virtual_n)
+                                         virtual_n=virtual_n,
+                                         workers=workers, pool=pool,
+                                         start_method=start_method,
+                                         timeout=timeout)
             else:
                 result = plan.execute(x, virtual_n=virtual_n,
                                       span_name="system.run")

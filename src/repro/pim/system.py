@@ -154,12 +154,20 @@ class PIMSystem:
         rng: Optional[np.random.Generator] = None,
         virtual_n: Optional[int] = None,
         batch: bool = True,
+        workers: Optional[int] = None,
+        pool=None,
+        start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
     ):
         """Run ``kernel`` split across ``shards`` disjoint DPU groups.
 
         ``overlap=True`` double-buffers: one shard's host<->PIM transfers
         overlap other shards' kernels (transfers serialize per direction on
         the host links; kernels of disjoint groups run concurrently).
+        ``workers > 1`` (or an explicit :class:`~repro.plan.pool.ShardPool`
+        as ``pool``) runs the shards on a multiprocess pool with
+        bit-identical results; ``start_method`` picks the worker start
+        method and ``timeout`` bounds the dispatch in wall seconds.
         Returns a :class:`~repro.plan.dispatch.ShardedRunResult`.
         """
         from repro.plan.dispatch import execute_sharded
@@ -179,4 +187,6 @@ class PIMSystem:
         return execute_sharded(
             plan, inputs, n_shards=shards, overlap=overlap,
             virtual_n=virtual_n, imbalance=imbalance, rng=rng, batch=batch,
+            workers=workers, pool=pool, start_method=start_method,
+            timeout=timeout,
         )

@@ -14,8 +14,14 @@ never rebuild or re-trace what a previous launch already paid for.
 * :mod:`repro.plan.dispatch` — :func:`execute_sharded`: inputs split across
   disjoint DPU groups with per-shard imbalance and optional double-buffered
   (overlapped) host<->PIM transfers.
+* :mod:`repro.plan.schedule` — :func:`schedule_pipeline`: the general
+  h2p/kernel/p2h pipeline timeline over any stream of launches or shards.
+* :mod:`repro.plan.pool` — :class:`ShardPool`: shards executed on a
+  ``multiprocessing`` worker pool, bit-identical to the inline path, with
+  plans shipped once per pool through shared memory.
 * :mod:`repro.plan.session` — :class:`PlanSession`: multi-kernel serving
-  streams against one runtime's resident tables.
+  streams against one runtime's resident tables, pipelined via
+  :meth:`PlanSession.launch_stream`.
 """
 
 from repro.plan.cache import PlanCache, PlanKey, plan_signature, table_signature
@@ -23,14 +29,25 @@ from repro.plan.dispatch import (
     ShardedRunResult,
     ShardResult,
     execute_sharded,
+    shard_ranges,
     shard_split,
 )
 from repro.plan.plan import ExecutionPlan, TransferSchedule, compile_plan
-from repro.plan.session import LaunchRecord, PlanSession
+from repro.plan.pool import PlanShipment, ShardPool, ShardTask
+from repro.plan.schedule import (
+    PipelineSchedule,
+    ScheduledItem,
+    StageItem,
+    schedule_pipeline,
+)
+from repro.plan.session import LaunchRecord, PlanSession, StreamResult
 
 __all__ = [
     "ExecutionPlan", "TransferSchedule", "compile_plan",
     "PlanCache", "PlanKey", "plan_signature", "table_signature",
-    "ShardResult", "ShardedRunResult", "shard_split", "execute_sharded",
-    "PlanSession", "LaunchRecord",
+    "ShardResult", "ShardedRunResult", "shard_split", "shard_ranges",
+    "execute_sharded",
+    "StageItem", "ScheduledItem", "PipelineSchedule", "schedule_pipeline",
+    "ShardPool", "PlanShipment", "ShardTask",
+    "PlanSession", "LaunchRecord", "StreamResult",
 ]

@@ -38,8 +38,9 @@ from repro.obs import metrics as _metrics
 from repro.obs.tracer import span as _span
 from repro.pim.system import PIMSystem, SystemRunResult
 from repro.plan.plan import ExecutionPlan
+from repro.plan.schedule import StageItem, schedule_pipeline
 
-__all__ = ["ShardResult", "ShardedRunResult", "shard_split",
+__all__ = ["ShardResult", "ShardedRunResult", "shard_split", "shard_ranges",
            "spawn_shard_rngs", "execute_sharded"]
 
 _F32 = np.float32
@@ -86,6 +87,20 @@ def shard_split(n_elements: int, n_dpus: int,
     dq, dr = divmod(n_dpus, n_shards)
     return [(eq + (1 if i < er else 0), dq + (1 if i < dr else 0))
             for i in range(n_shards)]
+
+
+def shard_ranges(split: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Half-open DPU index ranges of a contiguous shard allocation.
+
+    Shard ``i`` occupies the DPUs directly after shard ``i-1``'s; the
+    ranges feed :class:`~repro.plan.schedule.StageItem.dpu_range` so the
+    pipeline scheduler knows the shards' kernels never contend.
+    """
+    ranges, offset = [], 0
+    for _, dpus in split:
+        ranges.append((offset, offset + dpus))
+        offset += dpus
+    return ranges
 
 
 @dataclass
@@ -182,6 +197,56 @@ def _shard_inputs(inputs: np.ndarray, counts: Sequence[int],
     return out
 
 
+def _pooled_shard_runs(plan, split, pieces, imbalances, shard_rngs, *,
+                       batch, workers, pool, start_method, timeout):
+    """Run every shard on a worker pool; graft traces, merge metrics.
+
+    Returns ``(handles, runs)`` in shard order — the same pair the inline
+    loop produces, so timeline assembly downstream is path-agnostic.
+    """
+    from repro.obs.metrics import active_metrics
+    from repro.obs.tracer import active_tracer
+    from repro.plan import pool as _pool_mod
+
+    tracer = active_tracer()
+    registry = active_metrics()
+    owned = pool is None
+    shard_pool = pool if pool is not None else _pool_mod.ShardPool(
+        workers if workers is not None else len(split),
+        start_method=start_method, timeout=timeout,
+    )
+    specs = [
+        (dpus_i, xs_i, vn_i, imbalances[i], shard_rngs[i])
+        for i, ((_, dpus_i), (xs_i, vn_i)) in enumerate(zip(split, pieces))
+    ]
+    try:
+        outcomes, _wall = shard_pool.run_shards(
+            plan, specs, batch=batch,
+            capture_trace=tracer is not None,
+            capture_metrics=registry is not None,
+            timeout=timeout,
+        )
+    finally:
+        if owned:
+            shard_pool.close()
+    handles, runs = [], []
+    for i, out in enumerate(outcomes):
+        n_i, dpus_i = split[i]
+        with _span("shard", index=i, n_elements=n_i, n_dpus=dpus_i,
+                   worker=out.worker_pid) as ssp:
+            if tracer is not None:
+                for subtree in out.spans:
+                    tracer.graft(subtree)
+        handles.append(ssp)
+        runs.append(out.result)
+    if registry is not None:
+        # Shard order, so merged counters land exactly like inline emits.
+        for out in outcomes:
+            if out.metrics is not None:
+                registry.merge_snapshot(out.metrics)
+    return handles, runs
+
+
 def execute_sharded(
     plan: ExecutionPlan,
     inputs: Sequence[float],
@@ -192,6 +257,10 @@ def execute_sharded(
     imbalance: Union[None, float, Sequence[float]] = None,
     rng: Optional[np.random.Generator] = None,
     batch: bool = True,
+    workers: Optional[int] = None,
+    pool=None,
+    start_method: Optional[str] = None,
+    timeout: Optional[float] = None,
 ) -> ShardedRunResult:
     """Dispatch ``plan`` over ``n_shards`` disjoint DPU groups.
 
@@ -203,8 +272,17 @@ def execute_sharded(
     A caller ``rng`` seeds the whole dispatch: it is split into independent
     per-shard child generators (:func:`spawn_shard_rngs`), so every shard's
     sample draw is reproducible from the single seed and independent of
-    shard execution order — a prerequisite for lifting this loop onto a
-    ``multiprocessing`` pool (ROADMAP item 3).
+    shard execution order — the property that lets ``workers``/``pool``
+    lift the shard loop onto a ``multiprocessing`` pool
+    (:mod:`repro.plan.pool`) with bit-identical results.
+
+    ``workers > 1`` runs the shards on a throwaway pool of that many
+    processes (``start_method`` picks fork/spawn/forkserver, ``timeout``
+    bounds the dispatch in wall seconds); passing an existing
+    :class:`~repro.plan.pool.ShardPool` as ``pool`` reuses warm workers and
+    ships the plan only once across dispatches.  Either way the returned
+    :class:`ShardedRunResult`, the ``dispatch.*`` spans and metrics, and
+    every phase number reconcile bit for bit with the inline path.
     """
     inputs = np.asarray(inputs, dtype=_F32)
     n = int(virtual_n if virtual_n is not None else inputs.shape[0])
@@ -224,44 +302,72 @@ def execute_sharded(
     counts = [ne for ne, _ in split]
     pieces = _shard_inputs(inputs, counts, virtual_n)
     shard_rngs = spawn_shard_rngs(rng, n_shards)
+    pooled = pool is not None or (workers is not None and workers > 1)
 
     shards: List[ShardResult] = []
     with _span("dispatch.run", n_shards=n_shards, overlap=overlap,
                n_elements=n) as dsp:
-        h2p_done = 0.0
-        p2h_done = 0.0
-        serial_done = 0.0
-        for i, ((n_i, dpus_i), (xs_i, vn_i)) in enumerate(zip(split, pieces)):
-            sub = PIMSystem(replace(system.config, n_dpus=dpus_i),
-                            system.costs)
-            with _span("shard", index=i, n_elements=n_i,
-                       n_dpus=dpus_i) as ssp:
-                r = plan.for_system(sub).execute(
-                    xs_i, virtual_n=vn_i, rng=shard_rngs[i], batch=batch,
-                    imbalance=imbalances[i], span_name="shard.execute",
-                )
-                if overlap:
-                    start = h2p_done
-                    h2p_done = h2p_done + r.host_to_pim_seconds
-                    k_done = h2p_done + r.launch_seconds + r.kernel_seconds
-                    p2h_done = max(k_done, p2h_done) + r.pim_to_host_seconds
-                    finish = p2h_done
-                else:
-                    start = serial_done
-                    serial_done = serial_done + r.total_seconds
-                    finish = serial_done
-                ssp.set(sim_seconds=r.total_seconds,
-                        host_to_pim=r.host_to_pim_seconds,
-                        kernel=r.kernel_seconds,
-                        pim_to_host=r.pim_to_host_seconds,
-                        launch=r.launch_seconds,
-                        start_seconds=start,
-                        finish_seconds=finish)
+        if pooled:
+            dsp.set(pooled=True)
+            handles, runs = _pooled_shard_runs(
+                plan, split, pieces, imbalances, shard_rngs, batch=batch,
+                workers=workers, pool=pool, start_method=start_method,
+                timeout=timeout,
+            )
+        else:
+            handles, runs = [], []
+            for i, ((n_i, dpus_i), (xs_i, vn_i)) in enumerate(
+                    zip(split, pieces)):
+                sub = PIMSystem(replace(system.config, n_dpus=dpus_i),
+                                system.costs)
+                with _span("shard", index=i, n_elements=n_i,
+                           n_dpus=dpus_i) as ssp:
+                    r = plan.for_system(sub).execute(
+                        xs_i, virtual_n=vn_i, rng=shard_rngs[i],
+                        batch=batch, imbalance=imbalances[i],
+                        span_name="shard.execute",
+                    )
+                handles.append(ssp)
+                runs.append(r)
+
+        # Timeline assembly: pure arithmetic over the per-shard results,
+        # shared by the inline and pooled paths so both reconcile
+        # identically.  The overlapped timeline goes through the general
+        # pipeline scheduler; disjoint shard ranges collapse it bit for
+        # bit to the original double-buffered recurrence.
+        if overlap:
+            ranges = shard_ranges(split)
+            sched = schedule_pipeline([
+                StageItem(key=str(i), h2p=r.host_to_pim_seconds,
+                          launch=r.launch_seconds, kernel=r.kernel_seconds,
+                          p2h=r.pim_to_host_seconds, dpu_range=ranges[i])
+                for i, r in enumerate(runs)
+            ])
+            offsets = [(s.start_seconds, s.finish_seconds)
+                       for s in sched.items]
+            total = sched.makespan
+        else:
+            offsets = []
+            serial_done = 0.0
+            for r in runs:
+                nxt = serial_done + r.total_seconds
+                offsets.append((serial_done, nxt))
+                serial_done = nxt
+            total = serial_done
+
+        for i, (ssp, r) in enumerate(zip(handles, runs)):
+            start, finish = offsets[i]
+            ssp.set(sim_seconds=r.total_seconds,
+                    host_to_pim=r.host_to_pim_seconds,
+                    kernel=r.kernel_seconds,
+                    pim_to_host=r.pim_to_host_seconds,
+                    launch=r.launch_seconds,
+                    start_seconds=start,
+                    finish_seconds=finish)
             shards.append(ShardResult(
-                index=i, n_elements=n_i, n_dpus=dpus_i, result=r,
-                start_seconds=start, finish_seconds=finish,
+                index=i, n_elements=split[i][0], n_dpus=split[i][1],
+                result=r, start_seconds=start, finish_seconds=finish,
             ))
-        total = p2h_done if overlap else serial_done
         result = ShardedRunResult(
             n_elements=n, n_shards=n_shards, overlap=overlap,
             tasklets=plan.tasklets, shards=shards, total_seconds=total,
@@ -270,6 +376,8 @@ def execute_sharded(
                 serial_seconds=result.serial_seconds)
     _metrics.inc("dispatch.runs")
     _metrics.inc("dispatch.shards", n_shards)
+    if pooled:
+        _metrics.inc("dispatch.pool.dispatches")
     if overlap:
         _metrics.observe("dispatch.overlap_saving_seconds",
                          result.overlap_saving_seconds)

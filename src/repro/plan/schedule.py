@@ -1,0 +1,146 @@
+"""General pipeline scheduler: h2p/kernel/p2h stages across launches.
+
+The double-buffered shard timeline of PR 4 modeled one special case: the
+shards of a single launch, each on its own DPU group.  "UPMEM Unleashed"
+(PAPERS.md, arxiv 2510.15927) catalogs the general pattern real deployments
+use — *any* stream of launches (different kernels, different shard counts)
+keeps the host links and the compute groups all busy at once, subject to
+three resource constraints:
+
+* the host->PIM link is serial: scatters happen in submission order;
+* a DPU group runs one kernel at a time: the kernel stage serializes
+  between items whose DPU ranges overlap, and runs concurrently otherwise;
+* the PIM->host link is serial: gathers happen in submission order.
+
+:func:`schedule_pipeline` computes the resulting timeline for a sequence of
+:class:`StageItem` entries::
+
+    h2p_done[i]  = h2p_done[i-1] + h2p[i]
+    k_start[i]   = max(h2p_done[i], k_done[j])   over j<i with overlapping
+    k_done[i]    = k_start[i] + launch[i] + kernel[i]         DPU ranges
+    p2h_done[i]  = max(k_done[i], p2h_done[i-1]) + p2h[i]
+    makespan     = p2h_done[last]
+
+When every item occupies a distinct DPU range (the sharded-dispatch case)
+the ``k_start`` max is over nothing and the recurrence collapses **bit for
+bit** to the PR 4 double-buffered timeline — the property
+``tests/plan/test_schedule.py`` pins with exact arithmetic, and the
+dispatcher relies on to keep its overlap totals unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["StageItem", "ScheduledItem", "PipelineSchedule",
+           "schedule_pipeline"]
+
+
+@dataclass(frozen=True)
+class StageItem:
+    """One launch's (or shard's) stage times entering the pipeline.
+
+    ``dpu_range`` is the half-open [start, stop) interval of DPU indices
+    the kernel stage occupies; items whose ranges overlap serialize on the
+    compute resource.  ``None`` means "the whole system" and conflicts
+    with everything.
+    """
+
+    key: str
+    h2p: float
+    launch: float
+    kernel: float
+    p2h: float
+    dpu_range: Optional[Tuple[int, int]] = None
+
+    @property
+    def total(self) -> float:
+        """Back-to-back time of this item alone (the serial contribution)."""
+        return self.h2p + self.launch + self.kernel + self.p2h
+
+    def conflicts(self, other: "StageItem") -> bool:
+        """Whether the two items' kernel stages contend for DPUs."""
+        if self.dpu_range is None or other.dpu_range is None:
+            return True
+        a, b = self.dpu_range, other.dpu_range
+        return a[0] < b[1] and b[0] < a[1]
+
+
+@dataclass
+class ScheduledItem:
+    """One item placed on the pipeline timeline (absolute offsets)."""
+
+    item: StageItem
+    h2p_start: float
+    h2p_done: float
+    kernel_start: float
+    kernel_done: float
+    p2h_start: float
+    p2h_done: float
+
+    @property
+    def start_seconds(self) -> float:
+        return self.h2p_start
+
+    @property
+    def finish_seconds(self) -> float:
+        return self.p2h_done
+
+
+@dataclass
+class PipelineSchedule:
+    """The full interleaved timeline of a launch stream."""
+
+    items: List[ScheduledItem]
+    makespan: float
+
+    @property
+    def serial_seconds(self) -> float:
+        """What the same items cost launched strictly back to back."""
+        total = 0.0
+        for s in self.items:
+            total += s.item.total
+        return total
+
+    @property
+    def saving_seconds(self) -> float:
+        """Time the interleaving hides relative to serial launches."""
+        return self.serial_seconds - self.makespan
+
+
+def schedule_pipeline(items: Sequence[StageItem]) -> PipelineSchedule:
+    """Timeline for ``items`` under the three-resource pipeline model.
+
+    Items are processed in submission order (the host issues scatters and
+    gathers FIFO); only the kernel stage ever reorders against neighbours,
+    and then only when their DPU ranges are disjoint.
+    """
+    if not items:
+        raise SimulationError("cannot schedule an empty launch stream")
+    for it in items:
+        for name in ("h2p", "launch", "kernel", "p2h"):
+            if getattr(it, name) < 0.0:
+                raise SimulationError(
+                    f"stage item {it.key!r} has negative {name} time")
+    scheduled: List[ScheduledItem] = []
+    h2p_done = 0.0
+    p2h_done = 0.0
+    for it in items:
+        h2p_start = h2p_done
+        h2p_done = h2p_done + it.h2p
+        k_start = h2p_done
+        for prev in scheduled:
+            if it.conflicts(prev.item):
+                k_start = max(k_start, prev.kernel_done)
+        k_done = k_start + it.launch + it.kernel
+        p2h_start = max(k_done, p2h_done)
+        p2h_done = p2h_start + it.p2h
+        scheduled.append(ScheduledItem(
+            item=it, h2p_start=h2p_start, h2p_done=h2p_done,
+            kernel_start=k_start, kernel_done=k_done,
+            p2h_start=p2h_start, p2h_done=p2h_done,
+        ))
+    return PipelineSchedule(items=scheduled, makespan=p2h_done)

@@ -13,11 +13,13 @@ including sharded/overlapped ones — is PlanCache-warm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Union
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 from repro.core.method import Method
+from repro.errors import SimulationError
 from repro.obs import metrics as _metrics
 from repro.obs.tracer import span as _span
 from repro.pim.system import SystemRunResult
@@ -25,10 +27,12 @@ from repro.pim.system import SystemRunResult
 if TYPE_CHECKING:  # imported lazily at runtime (host imports this package)
     from repro.pim.host import InstalledFunction, PIMRuntime
 from repro.plan.cache import PlanCache
-from repro.plan.dispatch import ShardedRunResult, execute_sharded
+from repro.plan.dispatch import (ShardedRunResult, execute_sharded,
+                                 shard_ranges, shard_split)
 from repro.plan.plan import TransferSchedule
+from repro.plan.schedule import PipelineSchedule, StageItem, schedule_pipeline
 
-__all__ = ["PlanSession", "LaunchRecord"]
+__all__ = ["PlanSession", "LaunchRecord", "StreamResult"]
 
 _F32 = np.float32
 
@@ -42,6 +46,37 @@ class LaunchRecord:
     shards: int
     overlap: bool
     simulated_seconds: float
+
+
+@dataclass
+class StreamResult:
+    """A pipelined multi-launch stream's timeline and per-launch results.
+
+    ``results`` holds each launch's own result (``SystemRunResult`` or
+    ``ShardedRunResult``) exactly as a lone :meth:`PlanSession.launch`
+    would have returned it; ``schedule`` is the interleaved
+    h2p/kernel/p2h timeline of every (launch, shard) stage on the shared
+    host links and DPU groups.
+    """
+
+    records: List[LaunchRecord]
+    results: List[Union[SystemRunResult, ShardedRunResult]]
+    schedule: PipelineSchedule
+
+    @property
+    def pipelined_seconds(self) -> float:
+        """Simulated stream makespan with stages interleaved."""
+        return self.schedule.makespan
+
+    @property
+    def serial_seconds(self) -> float:
+        """What the same launches cost issued strictly back to back."""
+        return self.schedule.serial_seconds
+
+    @property
+    def saving_seconds(self) -> float:
+        """Simulated time the pipelining hides."""
+        return self.schedule.saving_seconds
 
 
 @dataclass
@@ -86,12 +121,19 @@ class PlanSession:
         virtual_n: Optional[int] = None,
         transfers: Optional[TransferSchedule] = None,
         batch: bool = True,
+        workers: Optional[int] = None,
+        pool=None,
+        start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Union[SystemRunResult, ShardedRunResult]:
         """Launch installed function ``name`` over ``inputs``.
 
         ``shards``/``overlap`` route through the sharded dispatcher;
         plans (and their path-tally caches) persist across launches, so a
         steady-state stream never re-traces or rebuilds anything.
+        ``workers``/``pool`` run the shards on a multiprocess pool
+        (:mod:`repro.plan.pool`) with bit-identical results; a pool passed
+        in survives the launch and keeps its warm workers.
         """
         fn = self.runtime[name]
         with _span("session.launch", function=name, shards=shards) as sp:
@@ -102,7 +144,8 @@ class PlanSession:
             if shards > 1:
                 result = execute_sharded(
                     plan, inputs, n_shards=shards, overlap=overlap,
-                    virtual_n=virtual_n, batch=batch,
+                    virtual_n=virtual_n, batch=batch, workers=workers,
+                    pool=pool, start_method=start_method, timeout=timeout,
                 )
             else:
                 result = plan.execute(
@@ -111,6 +154,11 @@ class PlanSession:
                 )
             sp.set(sim_seconds=result.total_seconds,
                    n_elements=result.n_elements)
+        self._record(name, result, shards, overlap)
+        return result
+
+    def _record(self, name: str, result, shards: int,
+                overlap: bool) -> LaunchRecord:
         record = LaunchRecord(
             function=name, n_elements=result.n_elements, shards=shards,
             overlap=overlap, simulated_seconds=result.total_seconds,
@@ -122,7 +170,108 @@ class PlanSession:
         stats.simulated_seconds += result.total_seconds
         _metrics.inc("session.launches")
         _metrics.inc("session.elements", result.n_elements)
-        return result
+        return record
+
+    def launch_stream(
+        self,
+        requests: Sequence[Tuple[str, Sequence[float]]],
+        *,
+        shards: int = 1,
+        virtual_n: Optional[int] = None,
+        transfers: Optional[TransferSchedule] = None,
+        batch: bool = True,
+        workers: Optional[int] = None,
+        pool=None,
+        start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> StreamResult:
+        """Run a stream of launches as one interleaved pipeline.
+
+        ``requests`` is a sequence of ``(function_name, inputs)`` pairs.
+        Each launch still runs exactly as :meth:`launch` would (same
+        results, same records), but the stream's timeline interleaves the
+        h2p/kernel/p2h stages of *every* launch — and, with ``shards >
+        1``, of every shard of every launch — on the shared host links
+        and DPU groups via :func:`~repro.plan.schedule.schedule_pipeline`:
+        launch ``j+1``'s scatter overlaps launch ``j``'s kernel, kernels
+        of overlapping DPU ranges serialize, gathers drain FIFO.
+
+        ``workers``/``pool`` run each launch's shards on a multiprocess
+        pool; with bare ``workers`` one pool spans the whole stream, so
+        every distinct plan ships to the workers once.
+        """
+        requests = list(requests)
+        if not requests:
+            raise SimulationError("cannot pipeline an empty launch stream")
+        system = self.runtime.system
+        if shards > 1:
+            ranges = shard_ranges(
+                shard_split(shards, system.config.n_dpus, shards))
+        else:
+            ranges = [None]  # whole system: every kernel stage conflicts
+        stream_pool = pool
+        owned = False
+        if stream_pool is None and workers is not None and workers > 1:
+            from repro.plan.pool import ShardPool
+            stream_pool = ShardPool(workers, start_method=start_method,
+                                    timeout=timeout)
+            owned = True
+        results: List[Union[SystemRunResult, ShardedRunResult]] = []
+        records: List[LaunchRecord] = []
+        items: List[StageItem] = []
+        try:
+            with _span("session.stream", launches=len(requests),
+                       shards=shards) as sp:
+                for j, (name, inputs) in enumerate(requests):
+                    fn = self.runtime[name]
+                    plan = self.plans.plan(
+                        system, fn.method, tasklets=self.tasklets,
+                        sample_size=self.sample_size, transfers=transfers,
+                    )
+                    if shards > 1:
+                        result = execute_sharded(
+                            plan, inputs, n_shards=shards, overlap=False,
+                            virtual_n=virtual_n, batch=batch,
+                            pool=stream_pool, timeout=timeout,
+                        )
+                        for k, shard in enumerate(result.shards):
+                            r = shard.result
+                            items.append(StageItem(
+                                key=f"{j}:{name}:{k}",
+                                h2p=r.host_to_pim_seconds,
+                                launch=r.launch_seconds,
+                                kernel=r.kernel_seconds,
+                                p2h=r.pim_to_host_seconds,
+                                dpu_range=ranges[k],
+                            ))
+                    else:
+                        result = plan.execute(
+                            np.asarray(inputs, dtype=_F32),
+                            virtual_n=virtual_n, batch=batch,
+                        )
+                        items.append(StageItem(
+                            key=f"{j}:{name}",
+                            h2p=result.host_to_pim_seconds,
+                            launch=result.launch_seconds,
+                            kernel=result.kernel_seconds,
+                            p2h=result.pim_to_host_seconds,
+                            dpu_range=None,
+                        ))
+                    results.append(result)
+                    records.append(
+                        self._record(name, result, shards, overlap=False))
+                schedule = schedule_pipeline(items)
+                sp.set(sim_seconds=schedule.makespan,
+                       serial_seconds=schedule.serial_seconds,
+                       saving_seconds=schedule.saving_seconds)
+        finally:
+            if owned:
+                stream_pool.close()
+        _metrics.inc("session.streams")
+        _metrics.observe("session.stream_saving_seconds",
+                         schedule.saving_seconds)
+        return StreamResult(records=records, results=results,
+                            schedule=schedule)
 
     # ------------------------------------------------------------------
 

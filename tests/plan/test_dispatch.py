@@ -233,3 +233,88 @@ class TestObservability:
         assert reg.value("dispatch.shards") == 4
         g = reg.gauge("dispatch.overlap_saving_seconds")
         assert g.count == 1 and g.last > 0.0
+
+
+class _StubPlan:
+    """A plan whose shard executions return pre-crafted timing results.
+
+    Lets the overlap arithmetic be checked against a hand-computed
+    timeline with exactly-representable floats, independent of any
+    kernel simulation.
+    """
+
+    def __init__(self, system, queued):
+        self.system = system
+        self.tasklets = 12
+        self._queued = list(queued)
+
+    def for_system(self, sub):
+        return self
+
+    def execute(self, xs, *, virtual_n=None, rng=None, batch=True,
+                imbalance=None, span_name="plan.execute"):
+        return self._queued.pop(0)
+
+
+def _stub_result(h2p, launch, kernel, p2h):
+    from repro.isa.counter import Tally
+    from repro.pim.dpu import KernelResult
+    per_dpu = KernelResult(
+        n_elements=1, tasklets=12, per_element_tally=Tally(),
+        total_tally=Tally(), cycles=0.0, seconds=kernel,
+        sample_outputs=np.zeros(1, dtype=_F32),
+    )
+    from repro.pim.system import SystemRunResult
+    return SystemRunResult(
+        n_elements=4, n_dpus_used=32, tasklets=12,
+        kernel_seconds=kernel, host_to_pim_seconds=h2p,
+        pim_to_host_seconds=p2h, launch_seconds=launch, per_dpu=per_dpu,
+    )
+
+
+class TestOverlapExactArithmetic:
+    """Hand-computed two-shard timeline, checked with exact equality.
+
+    shard 0: h2p=1.0,  launch=0.25, kernel=2.0, p2h=0.5
+    shard 1: h2p=0.75, launch=0.25, kernel=1.5, p2h=0.5
+
+        h2p_done = [1.0, 1.75]
+        k_done   = [1.0+0.25+2.0, 1.75+0.25+1.5] = [3.25, 3.5]
+        p2h_done = [max(3.25,0)+0.5, max(3.5, 3.75)+0.5] = [3.75, 4.25]
+
+    so total = 4.25, serial = 3.75 + 3.0 = 6.75 and the gather queueing
+    delay makes the saving exactly 6.75 - 4.25 = 2.5.  Every number is a
+    small dyadic rational, exact in float64.
+    """
+
+    def test_two_shard_timeline(self, system):
+        plan = _StubPlan(system, [
+            _stub_result(1.0, 0.25, 2.0, 0.5),
+            _stub_result(0.75, 0.25, 1.5, 0.5),
+        ])
+        xs = np.linspace(0.0, 1.0, 8, dtype=_F32)
+        with collecting() as reg:
+            r = execute_sharded(plan, xs, n_shards=2, overlap=True)
+        assert r.total_seconds == 4.25
+        assert r.serial_seconds == 6.75
+        assert r.overlap_saving_seconds == 2.5
+        assert (r.shards[0].start_seconds, r.shards[0].finish_seconds) \
+            == (0.0, 3.75)
+        assert (r.shards[1].start_seconds, r.shards[1].finish_seconds) \
+            == (1.0, 4.25)
+        g = reg.gauge("dispatch.overlap_saving_seconds")
+        assert g.count == 1 and g.last == 2.5
+
+    def test_serial_dispatch_is_running_sum(self, system):
+        plan = _StubPlan(system, [
+            _stub_result(1.0, 0.25, 2.0, 0.5),
+            _stub_result(0.75, 0.25, 1.5, 0.5),
+        ])
+        xs = np.linspace(0.0, 1.0, 8, dtype=_F32)
+        r = execute_sharded(plan, xs, n_shards=2, overlap=False)
+        assert r.total_seconds == 6.75
+        assert r.overlap_saving_seconds == 0.0
+        assert (r.shards[0].start_seconds, r.shards[0].finish_seconds) \
+            == (0.0, 3.75)
+        assert (r.shards[1].start_seconds, r.shards[1].finish_seconds) \
+            == (3.75, 6.75)

@@ -1,0 +1,190 @@
+"""Property tests: shard_split partitioning and the pipeline scheduler.
+
+``shard_split`` must be an *exact* partition — every element and every DPU
+lands in exactly one shard — and :func:`schedule_pipeline` must respect the
+three-resource recurrence (h2p FIFO, kernel serialized only between
+conflicting DPU ranges, p2h FIFO) while never exceeding the serial sum.
+Stage times are drawn as integers-as-floats so every comparison below is
+exact arithmetic, not tolerance checking.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.plan.dispatch import shard_ranges, shard_split
+from repro.plan.schedule import StageItem, schedule_pipeline
+
+# ----------------------------------------------------------------------
+# shard_split: exact partition
+
+split_args = st.tuples(
+    st.integers(min_value=1, max_value=5000),   # n_elements
+    st.integers(min_value=1, max_value=2545),   # n_dpus
+    st.integers(min_value=1, max_value=64),     # n_shards
+).filter(lambda t: t[2] <= t[0] and t[2] <= t[1])
+
+
+class TestShardSplitProperties:
+    @given(split_args)
+    @settings(max_examples=200, deadline=None)
+    def test_exact_partition(self, args):
+        n_elements, n_dpus, n_shards = args
+        split = shard_split(n_elements, n_dpus, n_shards)
+        assert len(split) == n_shards
+        assert sum(ne for ne, _ in split) == n_elements
+        assert sum(nd for _, nd in split) == n_dpus
+        assert all(ne >= 1 and nd >= 1 for ne, nd in split)
+
+    @given(split_args)
+    @settings(max_examples=200, deadline=None)
+    def test_remainders_monotone(self, args):
+        """Low shards get the remainder: sizes never increase with index."""
+        n_elements, n_dpus, n_shards = args
+        split = shard_split(n_elements, n_dpus, n_shards)
+        elems = [ne for ne, _ in split]
+        dpus = [nd for _, nd in split]
+        assert elems == sorted(elems, reverse=True)
+        assert dpus == sorted(dpus, reverse=True)
+        assert max(elems) - min(elems) <= 1
+        assert max(dpus) - min(dpus) <= 1
+
+    @given(split_args)
+    @settings(max_examples=200, deadline=None)
+    def test_ranges_tile_the_system(self, args):
+        n_elements, n_dpus, n_shards = args
+        split = shard_split(n_elements, n_dpus, n_shards)
+        ranges = shard_ranges(split)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_dpus
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start  # contiguous, disjoint
+
+
+# ----------------------------------------------------------------------
+# schedule_pipeline: recurrence ordering and makespan bound.
+#
+# Integer stage times (exact in float64) so every bound is checked with
+# ==/<= rather than approximate comparisons.
+
+_time = st.integers(min_value=0, max_value=10**6).map(float)
+
+
+@st.composite
+def stage_items(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    items = []
+    for i in range(n):
+        whole_system = draw(st.booleans())
+        if whole_system:
+            rng = None
+        else:
+            start = draw(st.integers(min_value=0, max_value=100))
+            width = draw(st.integers(min_value=1, max_value=50))
+            rng = (start, start + width)
+        items.append(StageItem(
+            key=str(i), h2p=draw(_time), launch=draw(_time),
+            kernel=draw(_time), p2h=draw(_time), dpu_range=rng,
+        ))
+    return items
+
+
+class TestPipelineScheduleProperties:
+    @given(stage_items())
+    @settings(max_examples=200, deadline=None)
+    def test_stage_recurrence(self, items):
+        """h2p FIFO, kernel after own scatter and conflicting
+        predecessors' kernels, p2h FIFO — each start is the exact max of
+        its enabling conditions (no idle slack is invented)."""
+        sched = schedule_pipeline(items)
+        h2p_done = 0.0
+        p2h_done = 0.0
+        for i, s in enumerate(sched.items):
+            assert s.h2p_start == h2p_done
+            assert s.h2p_done == h2p_done + s.item.h2p
+            h2p_done = s.h2p_done
+            lower = s.h2p_done
+            for prev in sched.items[:i]:
+                if s.item.conflicts(prev.item):
+                    lower = max(lower, prev.kernel_done)
+            assert s.kernel_start == lower
+            assert s.kernel_done == \
+                s.kernel_start + s.item.launch + s.item.kernel
+            assert s.p2h_start == max(s.kernel_done, p2h_done)
+            assert s.p2h_done == s.p2h_start + s.item.p2h
+            p2h_done = s.p2h_done
+        assert sched.makespan == p2h_done
+
+    @given(stage_items())
+    @settings(max_examples=200, deadline=None)
+    def test_makespan_bounded_by_serial_sum(self, items):
+        sched = schedule_pipeline(items)
+        assert sched.makespan <= sched.serial_seconds
+        assert sched.saving_seconds >= 0.0
+        # And never faster than any single resource's total demand.
+        assert sched.makespan >= sum(it.h2p for it in items)
+        assert sched.makespan >= sum(it.p2h for it in items)
+
+    @given(stage_items())
+    @settings(max_examples=200, deadline=None)
+    def test_whole_system_items_serialize(self, items):
+        """Items with dpu_range=None conflict with everything, so their
+        kernel stages never overlap any other item's."""
+        sched = schedule_pipeline(items)
+        for i, s in enumerate(sched.items):
+            if s.item.dpu_range is not None:
+                continue
+            for j, other in enumerate(sched.items):
+                if i == j or s.item.launch + s.item.kernel == 0 \
+                        or other.item.launch + other.item.kernel == 0:
+                    continue
+                assert s.kernel_done <= other.kernel_start \
+                    or other.kernel_done <= s.kernel_start
+
+    @given(stage_items())
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_ranges_collapse_to_double_buffer(self, items):
+        """With pairwise-disjoint ranges the schedule equals the PR 4
+        double-buffered recurrence bit for bit."""
+        disjoint = [
+            StageItem(key=it.key, h2p=it.h2p, launch=it.launch,
+                      kernel=it.kernel, p2h=it.p2h,
+                      dpu_range=(i * 1000, i * 1000 + 1))
+            for i, it in enumerate(items)
+        ]
+        sched = schedule_pipeline(disjoint)
+        h2p_done = 0.0
+        p2h_done = 0.0
+        for it, s in zip(disjoint, sched.items):
+            start = h2p_done
+            h2p_done = h2p_done + it.h2p
+            k_done = h2p_done + it.launch + it.kernel
+            p2h_done = max(k_done, p2h_done) + it.p2h
+            assert s.start_seconds == start
+            assert s.kernel_done == k_done
+            assert s.finish_seconds == p2h_done
+        assert sched.makespan == p2h_done
+
+
+class TestPipelineScheduleValidation:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SimulationError):
+            schedule_pipeline([])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            schedule_pipeline([StageItem(key="x", h2p=-1.0, launch=0.0,
+                                         kernel=0.0, p2h=0.0)])
+
+    def test_conflict_symmetry(self):
+        a = StageItem(key="a", h2p=0, launch=0, kernel=0, p2h=0,
+                      dpu_range=(0, 10))
+        b = StageItem(key="b", h2p=0, launch=0, kernel=0, p2h=0,
+                      dpu_range=(9, 12))
+        c = StageItem(key="c", h2p=0, launch=0, kernel=0, p2h=0,
+                      dpu_range=(10, 12))
+        whole = StageItem(key="w", h2p=0, launch=0, kernel=0, p2h=0)
+        assert a.conflicts(b) and b.conflicts(a)
+        assert not a.conflicts(c) and not c.conflicts(a)  # half-open
+        assert whole.conflicts(a) and a.conflicts(whole)
