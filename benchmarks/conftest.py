@@ -29,6 +29,7 @@ BENCH_SEEDS = {
     "sine_sweep": 7,  # conftest's own sine_points fixture
     "plan_cache": 7,
     "pool_scaling": 7,
+    "batch_vec": 7,
 }
 
 

@@ -1,4 +1,5 @@
-"""Batched traced-execution engine (see :mod:`repro.batch.engine`)."""
+"""Batched traced-execution engine (see :mod:`repro.batch.engine`) and
+the array-compiled fused evaluators layered on it (:mod:`repro.batch.vec`)."""
 
 from repro.batch.engine import (
     BatchResult,
@@ -7,13 +8,20 @@ from repro.batch.engine import (
     enumerate_paths,
     scalar_tally,
     scale_tally_int,
+    tally_from_keys,
 )
+from repro.batch.vec import VecEvaluator, VecResult, compile_vec, vec_run
 
 __all__ = [
     "BatchResult",
     "CostPath",
+    "VecEvaluator",
+    "VecResult",
     "batch_tally",
+    "compile_vec",
     "enumerate_paths",
     "scalar_tally",
     "scale_tally_int",
+    "tally_from_keys",
+    "vec_run",
 ]

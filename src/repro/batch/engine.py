@@ -27,7 +27,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
 from repro.isa.counter import CycleCounter, Tally
 from repro.obs import metrics as _metrics
 
@@ -37,6 +36,7 @@ __all__ = [
     "scale_tally_int",
     "enumerate_paths",
     "batch_tally",
+    "tally_from_keys",
     "scalar_tally",
 ]
 
@@ -125,15 +125,35 @@ def batch_tally(method, xs: np.ndarray, batch: bool = True,
     """
     xs = np.asarray(xs, dtype=_F32).ravel()
     if xs.size == 0:
-        raise ConfigurationError("batch_tally needs at least one input")
+        # An empty batch is a valid boundary case (sharded dispatch splits,
+        # coalesced serving batches): zero elements, zero cost, no paths.
+        return BatchResult(n=0, tally=Tally(),
+                           slots=np.empty(0, dtype=np.int64),
+                           paths=[], batched=True)
     keys: Optional[np.ndarray] = None
     if batch:
         keys = method.classify_paths(xs)
     if keys is None:
         return scalar_tally(method, xs)
+    return tally_from_keys(method, xs, keys, tally_cache=tally_cache)
 
-    uniq, first, inverse, counts = np.unique(
-        keys, return_index=True, return_inverse=True, return_counts=True)
+
+def tally_from_keys(method, xs: np.ndarray, keys: np.ndarray,
+                    tally_cache: Optional[Dict[int, Tally]] = None,
+                    unique: Optional[tuple] = None) -> BatchResult:
+    """The engine's back half: a BatchResult from precomputed path keys.
+
+    Split out of :func:`batch_tally` so the array-compiled evaluator
+    (:mod:`repro.batch.vec`) aggregates its fused keys through the exact
+    same code path — bit-identity with the traced engine by construction.
+    ``unique`` optionally carries a precomputed
+    ``np.unique(keys, return_index/inverse/counts)`` tuple so memoized
+    launches skip the sort as well.
+    """
+    if unique is None:
+        unique = np.unique(keys, return_index=True, return_inverse=True,
+                           return_counts=True)
+    uniq, first, inverse, counts = unique
 
     ctx = CycleCounter(method.costs)
     total = Tally()

@@ -265,7 +265,8 @@ def _cmd_plan(args) -> int:
     m = make_method(args.function, args.method, assume_in_range=False,
                     placement=args.placement, **_parse_knobs(args.knobs))
     cache = PlanCache()
-    plan = cache.plan(PIMSystem(), m, tasklets=args.tasklets)
+    plan = cache.plan(PIMSystem(), m, tasklets=args.tasklets,
+                      vec=not args.no_vec)
     print(plan.describe(n_elements=args.n, shards=args.shards))
     return 0
 
@@ -285,7 +286,8 @@ def _cmd_run(args) -> int:
 
     system = PIMSystem()
     cache = PlanCache()
-    plan = cache.plan(system, m, tasklets=args.tasklets)
+    plan = cache.plan(system, m, tasklets=args.tasklets,
+                      vec=not args.no_vec)
     pool = None
     if args.shards > 1 and args.workers is not None and args.workers > 1:
         # One pool for every --repeat launch: the plan ships to the
@@ -453,6 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=None,
                    help="also show the shard split for N elements")
     p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--no-vec", action="store_true",
+                   help="compile without the array-compiled fused "
+                        "evaluator (bit-identical, traced engine only)")
     p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("run",
@@ -478,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker start method (default: platform default)")
     p.add_argument("--timeout", type=float, default=None,
                    help="pooled dispatch deadline in wall seconds")
+    p.add_argument("--no-vec", action="store_true",
+                   help="launch through the traced engine only "
+                        "(bit-identical; disables the fused evaluator)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("listing",

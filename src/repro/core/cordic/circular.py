@@ -129,7 +129,38 @@ class CordicCircular(Method):
         z = q & _FRAC_MASK
         return quad, z
 
+    def _rotate_full_vec(
+        self, z: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One rotation pass returning (cos, sin, n_pos) together.
+
+        The array-compiled evaluator (:mod:`repro.batch.vec`) needs the
+        rotation values *and* the direction count in one recurrence: the
+        ``pos`` mask that steers the float vector is exactly the direction
+        bit the cost key counts, so fusing them halves the passes over the
+        z recurrence compared to ``_rotate_vec`` + ``_rotate_pos_vec``.
+        """
+        x = np.full(z.shape, self._x0, dtype=_F32)
+        y = np.zeros(z.shape, dtype=_F32)
+        n = np.zeros(z.shape, dtype=np.int64)
+        for i in range(self.iterations):
+            t = int(self._angles[i])
+            xs = ldexpf_vec(x, -i)
+            ys = ldexpf_vec(y, -i)
+            pos = z >= 0
+            n += pos
+            x_pos = (x - ys).astype(_F32)
+            x_neg = (x + ys).astype(_F32)
+            y_pos = (y + xs).astype(_F32)
+            y_neg = (y - xs).astype(_F32)
+            x = np.where(pos, x_pos, x_neg)
+            y = np.where(pos, y_pos, y_neg)
+            z = np.where(pos, z - t, z + t)
+        return x, y, n
+
     def _rotate_vec(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # Same recurrence without the direction count (pure value path);
+        # kept separate so plain evaluate_vec pays no counting passes.
         x = np.full(z.shape, self._x0, dtype=_F32)
         y = np.zeros(z.shape, dtype=_F32)
         for i in range(self.iterations):

@@ -38,7 +38,7 @@ from repro.core.functions.registry import FunctionSpec
 from repro.core.ldexp import ldexpf_vec
 from repro.core.lut.base import FuzzyLUT, build_fixed_table, build_table
 from repro.errors import ConfigurationError
-from repro.fixedpoint import Q3_28, fx_mul
+from repro.fixedpoint import Q3_28, fx_mul, fx_mul_vec
 from repro.isa.counter import CycleCounter
 
 __all__ = ["LLUT", "LLUTInterpolated", "LLUTFixed", "LLUTInterpolatedFixed"]
@@ -459,7 +459,12 @@ class LLUTInterpolatedFixed(FuzzyLUT):
         return ctx.fx2f(yfx, self.geom.fmt.frac_bits)
 
     def core_eval_raw_vec(self, a: np.ndarray) -> np.ndarray:
-        """Vectorized twin of :meth:`core_eval_raw`."""
+        """Vectorized twin of :meth:`core_eval_raw`.
+
+        The interpolation product goes through :func:`fx_mul_vec` so it
+        wraps at the 32-bit word exactly like the traced ``fx_mul`` —
+        a bare ``>> frac_bits`` would diverge at word-width boundaries.
+        """
         g = self.geom
         r = np.asarray(a, dtype=np.int64) - g.p_raw
         idx = np.clip(r >> g.shift, 0, self.entries - 2)
@@ -467,7 +472,7 @@ class LLUTInterpolatedFixed(FuzzyLUT):
         delta_fx = dbits << g.n
         l0 = self._table[idx].astype(np.int64)
         l1 = self._table[idx + 1].astype(np.int64)
-        prod = ((l1 - l0) * delta_fx) >> g.fmt.frac_bits
+        prod = fx_mul_vec(g.fmt, l1 - l0, delta_fx)
         return l0 + prod
 
     def core_eval_vec(self, u):

@@ -6,6 +6,7 @@ from repro.fixedpoint.ops import (
     fx_add,
     fx_add_vec,
     fx_div,
+    fx_div_vec,
     fx_frac,
     fx_mul,
     fx_mul_vec,
@@ -34,4 +35,5 @@ __all__ = [
     "fx_add_vec",
     "fx_sub_vec",
     "fx_mul_vec",
+    "fx_div_vec",
 ]

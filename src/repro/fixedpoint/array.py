@@ -4,8 +4,13 @@ The counted scalar ops (:mod:`repro.fixedpoint.ops`) are what PIM kernels
 use; host-side table generation, test oracles, and fully fixed pipelines
 benefit from an array type with natural operators.  ``FxArray`` wraps raw
 int64 words plus a :class:`~repro.fixedpoint.qformat.QFormat` and implements
-two's-complement-exact arithmetic — every operation wraps at the format's
-word width, matching what 32-bit DPU registers would hold.
+two's-complement-exact arithmetic: every operator applies ``fmt.wrap``
+to its result explicitly, so each intermediate — not just the stored
+word — reduces into the format's range exactly like a 32-bit DPU register.
+The operators are bit-identical to the counted ``fx_*`` ops and their
+``_vec`` twins at every word-width boundary (the hypothesis differential
+suite in ``tests/fixedpoint/`` samples the full raw range), and division
+by zero raises ``ZeroDivisionError`` exactly like the scalar ``fx_div``.
 """
 
 from __future__ import annotations
@@ -77,41 +82,53 @@ class FxArray:
 
     # ------------------------------------------------------------------
     # arithmetic (two's-complement wrapping, like DPU registers)
+    #
+    # Every operator wraps its result at the format's word width before
+    # construction, mirroring fx_add/fx_sub/fx_mul/fx_div and the _vec
+    # twins bit for bit — including at the s3.28 domain limits, where an
+    # unwrapped intermediate would diverge from a 32-bit register.
+
+    def _wrapped(self, raw: np.ndarray) -> "FxArray":
+        return FxArray(np.asarray(self.fmt.wrap(raw), dtype=np.int64),
+                       self.fmt)
 
     def __add__(self, other) -> "FxArray":
-        return FxArray(self.raw + self._coerce(other), self.fmt)
+        return self._wrapped(self.raw + self._coerce(other))
 
     __radd__ = __add__
 
     def __sub__(self, other) -> "FxArray":
-        return FxArray(self.raw - self._coerce(other), self.fmt)
+        return self._wrapped(self.raw - self._coerce(other))
 
     def __rsub__(self, other) -> "FxArray":
-        return FxArray(self._coerce(other) - self.raw, self.fmt)
+        return self._wrapped(self._coerce(other) - self.raw)
 
     def __neg__(self) -> "FxArray":
-        return FxArray(-self.raw, self.fmt)
+        return self._wrapped(-self.raw)
 
     def __mul__(self, other) -> "FxArray":
         wide = self.raw * self._coerce(other)
-        return FxArray(wide >> self.fmt.frac_bits, self.fmt)
+        return self._wrapped(wide >> self.fmt.frac_bits)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "FxArray":
+        # Widened dividend, truncation toward zero, wrap — fx_div exactly.
+        # Division by zero raises like the scalar op; mapping it to any
+        # value would silently diverge from the traced kernel.
         divisor = self._coerce(other)
+        if np.any(divisor == 0):
+            raise ZeroDivisionError("fixed-point division by zero")
         wide = self.raw << self.fmt.frac_bits
-        # Truncate toward zero, like the emulated divide.
-        quot = np.sign(wide) * np.sign(divisor) * (
-            np.abs(wide) // np.maximum(np.abs(divisor), 1)
-        )
-        return FxArray(quot, self.fmt)
+        quot = np.abs(wide) // np.abs(divisor)
+        return self._wrapped(np.where((wide < 0) != (divisor < 0),
+                                      -quot, quot))
 
     def __lshift__(self, n: int) -> "FxArray":
-        return FxArray(self.raw << n, self.fmt)
+        return self._wrapped(self.raw << n)
 
     def __rshift__(self, n: int) -> "FxArray":
-        return FxArray(self.raw >> n, self.fmt)
+        return self._wrapped(self.raw >> n)
 
     # ------------------------------------------------------------------
     # comparisons (on raw words: exact)

@@ -31,6 +31,7 @@ __all__ = [
     "fx_add_vec",
     "fx_sub_vec",
     "fx_mul_vec",
+    "fx_div_vec",
 ]
 
 
@@ -122,3 +123,21 @@ def fx_mul_vec(fmt: QFormat, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Vectorized fixed-point multiply on raw words (truncating shift)."""
     wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
     return fmt.wrap(wide >> fmt.frac_bits)
+
+
+def fx_div_vec(fmt: QFormat, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized fixed-point divide on raw words.
+
+    Bit-identical to :func:`fx_div`: the dividend widens by ``frac_bits``,
+    the quotient truncates toward zero (the DPU's emulated divide), and the
+    result wraps at the word width.  A zero anywhere in ``b`` raises
+    ``ZeroDivisionError``, exactly like the scalar path — the array twins
+    never silently substitute a value where the counted op would trap.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if np.any(b == 0):
+        raise ZeroDivisionError("fixed-point division by zero")
+    wide = a << fmt.frac_bits
+    quot = np.abs(wide) // np.abs(b)
+    return fmt.wrap(np.where((wide < 0) != (b < 0), -quot, quot))

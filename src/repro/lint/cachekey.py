@@ -67,6 +67,7 @@ DEFAULT_COVERAGE: Dict[str, Tuple[str, ...]] = {
     "sample_size": ("sample_size",),
     "transfers": ("transfers",),
     "imbalance": ("imbalance",),
+    "vec_enabled": ("vec",),
 }
 
 #: Mutable runtime state: read (and written) during execute, but a cache of

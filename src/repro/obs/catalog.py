@@ -26,6 +26,12 @@ COUNTERS: Dict[str, str] = {
     "batch.scalar_fallbacks": "inputs that fell back to the scalar loop",
     "batch.tally_cache.hits": "path tallies served from a plan's cache",
     "batch.tally_cache.misses": "path tallies traced and cached",
+    # array-compiled fused evaluators
+    "batch.vec.compiles": "fused array evaluators compiled",
+    "batch.vec.runs": "fused evaluations served (values + aggregate)",
+    "batch.vec.memo.hits": "fused (values, keys, unique) memo hits",
+    "batch.vec.memo.misses": "fused array passes computed and memoized",
+    "batch.vec.fallbacks": "vec_run calls that fell back to the traced engine",
     # per-core simulation
     "dpu.kernel_runs": "DPU.run_kernel invocations",
     "dpu.dma_bytes": "MRAM DMA bytes moved by kernels",

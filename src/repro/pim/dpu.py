@@ -139,6 +139,7 @@ class DPU:
         virtual_n: Optional[int] = None,
         batch: bool = True,
         tally_cache: Optional[dict] = None,
+        vec=None,
     ) -> KernelResult:
         """Simulate running ``kernel`` over ``inputs`` with ``tasklets`` threads.
 
@@ -164,6 +165,14 @@ class DPU:
         ``tally_cache`` is a path-key -> Tally dict handed to the batch
         engine so repeated launches (an ExecutionPlan's steady state) skip
         scalar tracing for already-seen cost paths.
+
+        ``vec`` is an optional compiled
+        :class:`~repro.batch.vec.VecEvaluator` for the same method: when it
+        classifies the sample, one fused array pass produces the sample
+        outputs *and* the cost aggregate (bit-identical to
+        ``batch_tally`` + ``evaluate_vec`` — the vec differential harness
+        enforces this), and its memo carries repeated launches.  When it
+        abstains, the traced engine below runs unchanged.
         """
         inputs = np.asarray(inputs, dtype=np.float32)
         # 1-D arrays are streams of scalars; 2-D arrays are streams of
@@ -186,11 +195,20 @@ class DPU:
             if method is not None:
                 from repro.batch import batch_tally
 
-                result = batch_tally(method, sample,
-                                     tally_cache=tally_cache)
-                sample_tally = result.tally
-                outputs = method.evaluate_vec(sample)
-                trace_sp.set(n_cost_paths=len(result.paths))
+                fused = None
+                if vec is not None and vec.method is method:
+                    fused = vec.run(sample, tally_cache=tally_cache)
+                if fused is not None:
+                    sample_tally = fused.batch.tally
+                    outputs = fused.values
+                    trace_sp.set(n_cost_paths=len(fused.batch.paths),
+                                 vec=True)
+                else:
+                    result = batch_tally(method, sample,
+                                         tally_cache=tally_cache)
+                    sample_tally = result.tally
+                    outputs = method.evaluate_vec(sample)
+                    trace_sp.set(n_cost_paths=len(result.paths))
             else:
                 sample_tally = Tally()
                 outputs = []

@@ -126,6 +126,12 @@ class PlanKey:
     sample_size: int
     transfers: TransferSchedule
     imbalance: float
+    #: Whether the plan routes launches through the array-compiled fused
+    #: evaluator (:mod:`repro.batch.vec`).  Results are bit-identical
+    #: either way, but the flag is observable plan behavior (metrics,
+    #: describe, fallback path), so a vec-disabled lookup must never be
+    #: served a vec-enabled plan.
+    vec: bool = True
 
 
 @dataclass
@@ -168,7 +174,7 @@ class PlanCache:
     def key_for(self, system: PIMSystem, method: Method, *,
                 tasklets: int = 16, sample_size: int = 64,
                 transfers: Optional[TransferSchedule] = None,
-                imbalance: float = 0.0) -> PlanKey:
+                imbalance: float = 0.0, vec: bool = True) -> PlanKey:
         """The PlanKey a :meth:`plan` call with these arguments would use."""
         return PlanKey(
             table_key=table_signature(method),
@@ -180,12 +186,13 @@ class PlanCache:
             transfers=transfers if transfers is not None
             else TransferSchedule(),
             imbalance=imbalance,
+            vec=vec,
         )
 
     def plan(self, system: PIMSystem, method: Method, *,
              tasklets: int = 16, sample_size: int = 64,
              transfers: Optional[TransferSchedule] = None,
-             imbalance: float = 0.0) -> ExecutionPlan:
+             imbalance: float = 0.0, vec: bool = True) -> ExecutionPlan:
         """The compiled plan for this launch configuration, cached.
 
         On a plan miss, the method pool is consulted first: an equivalent
@@ -197,7 +204,7 @@ class PlanCache:
         """
         key = self.key_for(system, method, tasklets=tasklets,
                            sample_size=sample_size, transfers=transfers,
-                           imbalance=imbalance)
+                           imbalance=imbalance, vec=vec)
         cached = self._plans.get(key)
         if cached is not None:
             self._plans.move_to_end(key)
@@ -220,7 +227,7 @@ class PlanCache:
         plan = compile_plan(
             system, pooled, tasklets=tasklets, sample_size=sample_size,
             transfers=key.transfers, imbalance=imbalance,
-            signature=plan_signature(pooled), memo=entry.memo,
+            signature=plan_signature(pooled), memo=entry.memo, vec=vec,
         )
         # Pool only after a successful compile: a failing table build must
         # not leave a half-built method answering future pool lookups.

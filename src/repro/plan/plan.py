@@ -33,6 +33,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.batch.vec import VecEvaluator, compile_vec
 from repro.core.method import Method
 from repro.errors import SimulationError
 from repro.isa.counter import Tally
@@ -102,6 +103,7 @@ class ExecutionPlan:
         imbalance: float = 0.0,
         signature: Optional[str] = None,
         memo: Optional[dict] = None,
+        vec: bool = True,
     ):
         self.system = system
         self.kernel = kernel
@@ -117,6 +119,11 @@ class ExecutionPlan:
         #: Stable identity under :class:`~repro.plan.cache.PlanCache`
         #: (None for ad-hoc plans).
         self.signature = signature
+        #: Whether launches go through the array-compiled fused evaluator
+        #: (:mod:`repro.batch.vec`).  Bit-identical either way — the
+        #: evaluator only changes wall-clock — but it is a PlanKey field
+        #: so a vec-disabled plan never serves a vec-enabled lookup.
+        self.vec_enabled = bool(vec)
         #: Path key -> traced Tally; shared across launches (and across
         #: shard sub-plans), exact by the equal-key invariant.
         self.tally_cache: Dict[int, Tally] = {}
@@ -152,18 +159,48 @@ class ExecutionPlan:
             system, self.kernel, method=self.method, tasklets=self.tasklets,
             sample_size=self.sample_size, transfers=self.transfers,
             imbalance=self.imbalance, signature=self.signature,
-            memo=self.memo,
+            memo=self.memo, vec=self.vec_enabled,
         )
         clone.tally_cache = self.tally_cache
         return clone
 
+    def _vec_evaluator(self) -> Optional[VecEvaluator]:
+        """The plan's compiled array evaluator, or None when disabled.
+
+        Lives in ``memo`` — the dict a :class:`~repro.plan.cache.PlanCache`
+        shares between every placement's plan of one table image — because
+        the evaluator's memoized ``(values, keys, unique)`` triples are
+        placement-independent: a WRAM and an MRAM plan re-running the same
+        batch share the array passes and only re-derive per-path tallies
+        through their own ``tally_cache``.
+        """
+        if not self.vec_enabled or self.method is None:
+            return None
+        evaluator = self.memo.get("vec_evaluator")
+        if evaluator is None or evaluator.method is not self.method:
+            evaluator = compile_vec(self.method)
+            self.memo["vec_evaluator"] = evaluator
+        return evaluator
+
     def values(self, x: np.ndarray) -> np.ndarray:
-        """Bit-exact float32 evaluation (the accuracy path; Methods only)."""
+        """Bit-exact float32 evaluation (the accuracy path; Methods only).
+
+        Served from the fused evaluator's memo when the plan has one —
+        repeated accuracy sweeps over the same inputs (including the same
+        table image at the other placement) skip the array passes.  The
+        result may be a read-only view of the memoized array.
+        """
         if self.method is None:
             raise SimulationError(
                 "plan wraps a raw kernel; values() needs a Method")
         self._bind_placement()
-        return self.method.evaluate_vec(np.asarray(x, dtype=_F32))
+        x = np.asarray(x, dtype=_F32)
+        evaluator = self._vec_evaluator()
+        if evaluator is not None:
+            fused = evaluator.values(x.ravel())
+            if fused is not None:
+                return fused.reshape(x.shape)
+        return self.method.evaluate_vec(x)
 
     def _bind_placement(self) -> None:
         """Repoint shared tables at this plan's placement before tracing.
@@ -257,6 +294,7 @@ class ExecutionPlan:
                     virtual_n=n,
                     batch=batch,
                     tally_cache=self.tally_cache if batch else None,
+                    vec=self._vec_evaluator() if batch else None,
                 )
                 share = per_core / n * (1.0 + imb)
                 kernel_seconds = core_result.seconds * share
@@ -327,6 +365,8 @@ class ExecutionPlan:
              f"out {sched.bytes_out_per_element} B/elem, "
              f"{'balanced' if sched.balanced else 'serialized'}"
              if sched.include_transfers else "none (operands resident)"),
+            ("vec evaluator", "enabled" if self.vec_enabled and m is not None
+             else "disabled"),
             ("cached cost paths", len(self.tally_cache)),
             ("executions", self.executions),
         ]
@@ -353,6 +393,7 @@ def compile_plan(
     imbalance: float = 0.0,
     signature: Optional[str] = None,
     memo: Optional[dict] = None,
+    vec: bool = True,
 ) -> ExecutionPlan:
     """Compile ``target`` (a Method or a raw kernel) into an ExecutionPlan.
 
@@ -375,7 +416,7 @@ def compile_plan(
         plan = ExecutionPlan(
             system, kernel, method=method, tasklets=tasklets,
             sample_size=sample_size, transfers=transfers,
-            imbalance=imbalance, signature=signature, memo=memo,
+            imbalance=imbalance, signature=signature, memo=memo, vec=vec,
         )
         sp.set(table_bytes=plan.table_bytes,
                placement=plan.placement or "-",

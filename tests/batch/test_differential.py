@@ -175,10 +175,14 @@ def test_scalar_fallback_for_unclassifiable_kernels():
     np.testing.assert_array_equal(forced.slots, auto.slots)
 
 
-def test_empty_batch_rejected():
+def test_empty_batch_is_empty_result():
+    """An empty input is a valid boundary split: zero cost, no paths."""
     m = make_method("sin", "llut_i", density_log2=8).setup()
-    with pytest.raises(ConfigurationError):
-        batch_tally(m, np.empty(0, dtype=_F32))
+    r = batch_tally(m, np.empty(0, dtype=_F32))
+    assert r.n == 0 and r.batched
+    assert r.tally.slots == 0 and r.tally.counts == {}
+    assert r.slots.size == 0 and r.slots.dtype == np.int64
+    assert r.paths == []
 
 
 def test_cost_paths_api():

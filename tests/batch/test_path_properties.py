@@ -133,3 +133,23 @@ def test_single_element_batch_equals_element_tally(x):
     assert res.tally.slots == expected.slots
     assert res.tally.counts == expected.counts
     assert res.slots[0] == expected.slots
+
+
+class TestEmptyBatch:
+    """Sharded dispatch can hand an engine zero elements; that is a valid
+    boundary, not an error, and both engines agree on its shape."""
+
+    def test_batch_tally_empty_input(self):
+        m = make_method("sin", "llut_i", density_log2=8).setup()
+        r = batch_tally(m, np.empty(0, dtype=np.float32))
+        assert r.n == 0 and r.batched
+        assert r.tally.slots == 0 and r.tally.counts == {}
+        assert r.slots.size == 0 and r.slots.dtype == np.int64
+        assert r.paths == []
+
+    def test_scalar_tally_empty_input(self):
+        m = make_method("sin", "llut_i", density_log2=8).setup()
+        r = scalar_tally(m, np.empty(0, dtype=np.float32))
+        assert r.n == 0
+        assert r.tally.slots == 0
+        assert r.slots.size == 0

@@ -1,0 +1,215 @@
+"""Differential harness: the fused array evaluators vs the unfused paths.
+
+:mod:`repro.batch.vec` promises that one fused structure-of-arrays pass is
+bit-identical to ``Method.evaluate_vec`` (values) plus
+:func:`~repro.batch.batch_tally` (aggregate, per-element slots, path list)
+for every classifiable method.  Values are compared at the *bit* level —
+NaN payloads and signed zeros included — because the fused kernels
+replicate the unfused expressions rather than approximating them.
+
+A fast subset mirrors ``test_differential.FAST_PAIRS`` in tier-1; the full
+``METHOD_SUPPORT`` matrix is ``slow``-marked and runs in CI's differential
+step.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import make_method
+from repro.batch import batch_tally, compile_vec, scalar_tally, vec_run
+from repro.core.functions.support import METHOD_SUPPORT
+from repro.errors import ConfigurationError
+from tests.batch.test_differential import (
+    FAST_PAIRS,
+    FULL_MATRIX,
+    _get_method,
+    _inputs_for,
+)
+
+_F32 = np.float32
+
+
+def _assert_bits_equal(a: np.ndarray, b: np.ndarray, msg: str) -> None:
+    """Exact bit-pattern equality (NaN payloads, signed zeros and all)."""
+    a, b = np.asarray(a), np.asarray(b)
+    assert a.dtype == b.dtype, f"{msg}: dtype {a.dtype} != {b.dtype}"
+    assert a.shape == b.shape, f"{msg}: shape {a.shape} != {b.shape}"
+    np.testing.assert_array_equal(
+        np.ascontiguousarray(a).view(np.uint8),
+        np.ascontiguousarray(b).view(np.uint8),
+        err_msg=msg,
+    )
+
+
+def _assert_vec_identical(method_name: str, function: str,
+                          assume_in_range: bool, n: int) -> None:
+    m = _get_method(function, method_name, assume_in_range)
+    xs = _inputs_for(function, assume_in_range, n)
+
+    evaluator = compile_vec(m)
+    try:
+        ref_values = m.evaluate_vec(xs)
+    except Exception as exc:
+        # Pre-existing upstream limitation: some value paths (e.g. the
+        # hybrid hyperbolic table rotation) raise on non-finite lanes even
+        # though the classifier handles them.  The fused evaluator must
+        # reproduce the same failure, not paper over it.
+        with pytest.raises(type(exc)):
+            evaluator.run(xs, tally_cache={})
+        return
+    fused = evaluator.run(xs, tally_cache={})
+    ref_batch = batch_tally(m, xs)
+
+    assert fused is not None, (
+        f"{method_name}/{function} abstained in the fused evaluator but "
+        "classifies in the traced engine"
+    )
+    _assert_bits_equal(fused.values, ref_values,
+                       f"{method_name}/{function} values")
+    b, r = fused.batch, ref_batch
+    assert b.n == r.n == xs.size
+    assert b.batched and r.batched
+    assert b.tally.slots == r.tally.slots
+    assert b.tally.dma_transactions == r.tally.dma_transactions
+    assert b.tally.dma_bytes == r.tally.dma_bytes
+    assert b.tally.dma_latency == r.tally.dma_latency
+    assert b.tally.counts == r.tally.counts
+    np.testing.assert_array_equal(b.slots, r.slots)
+    assert [(p.key, p.count, p.tally.slots) for p in b.paths] == \
+        [(p.key, p.count, p.tally.slots) for p in r.paths]
+
+
+# ----------------------------------------------------------------------
+# Fast tier-1 subset (same coverage axes as the traced-engine harness).
+
+@pytest.mark.parametrize("in_range", [True, False],
+                         ids=["natural", "full_domain"])
+@pytest.mark.parametrize("function,method", FAST_PAIRS,
+                         ids=[f"{m}-{f}" for f, m in FAST_PAIRS])
+def test_vec_differential_fast(function, method, in_range):
+    _assert_vec_identical(method, function, in_range, n=160)
+
+
+# ----------------------------------------------------------------------
+# Full matrix, slow-marked: every (method, function) in METHOD_SUPPORT.
+
+@pytest.mark.slow
+@pytest.mark.parametrize("in_range", [True, False],
+                         ids=["natural", "full_domain"])
+@pytest.mark.parametrize("method,function", FULL_MATRIX,
+                         ids=[f"{m}-{f}" for m, f in FULL_MATRIX])
+def test_vec_differential_full_matrix(method, function, in_range):
+    try:
+        _get_method(function, method, in_range)
+    except ConfigurationError as exc:
+        pytest.skip(f"unsupported configuration: {exc}")
+    _assert_vec_identical(method, function, in_range, n=96)
+
+
+def test_full_matrix_covers_method_support():
+    """The slow matrix really spans every registered method family."""
+    assert {m for m, _ in FULL_MATRIX} == set(METHOD_SUPPORT)
+
+
+# ----------------------------------------------------------------------
+# Evaluator contract details.
+
+def test_memo_serves_repeat_batches():
+    m = _get_method("sin", "llut_i_fx", True)
+    xs = _inputs_for("sin", True, 128)
+    ev = compile_vec(m)
+    first = ev.run(xs)
+    second = ev.run(xs)
+    # Identity, not just equality: the second run is the memoized triple.
+    assert second.values is first.values
+    assert len(ev._memo) == 1
+    assert not first.values.flags.writeable
+    assert first.batch.tally.counts == second.batch.tally.counts
+    np.testing.assert_array_equal(first.batch.slots, second.batch.slots)
+
+
+def test_memo_is_bounded_lru():
+    m = _get_method("sin", "llut_i", True)
+    ev = compile_vec(m, memo_size=2)
+    for seed in range(4):
+        ev.run(_inputs_for("sin", True, 32, seed=seed))
+    assert len(ev._memo) == 2
+
+
+def test_values_skips_aggregation():
+    m = _get_method("sin", "llut_i", True)
+    xs = _inputs_for("sin", True, 64)
+    ev = compile_vec(m)
+    vals = ev.values(xs)
+    _assert_bits_equal(vals, m.evaluate_vec(xs), "values()")
+    # values() populated the memo; a later run() reuses the same triple.
+    assert ev.run(xs).values is ev.values(xs)
+
+
+def test_empty_batch_is_empty_result():
+    m = _get_method("sin", "llut_i", True)
+    r = compile_vec(m).run(np.empty(0, dtype=_F32))
+    assert r.batch.n == 0 and r.batch.batched
+    assert r.batch.tally.slots == 0 and r.batch.paths == []
+    assert r.values.size == 0 and r.values.dtype == _F32
+    assert r.batch.slots.size == 0 and r.batch.slots.dtype == np.int64
+
+
+def test_abstain_falls_back_bit_identically():
+    """CORDIC abstains beyond the fx_mul overflow bound; vec_run degrades
+    to the traced engine (here: the scalar loop) without changing numbers."""
+    m = _get_method("sin", "cordic", True)
+    xs = np.array([1.0e6, 0.5, -3.0], dtype=_F32)
+    ev = compile_vec(m)
+    assert ev.run(xs) is None
+    assert ev.values(xs) is None
+    values, batch = vec_run(m, xs, evaluator=ev)
+    ref = scalar_tally(m, xs)
+    assert not batch.batched
+    _assert_bits_equal(values, m.evaluate_vec(xs), "fallback values")
+    assert batch.tally.slots == ref.tally.slots
+    assert batch.tally.counts == ref.tally.counts
+    np.testing.assert_array_equal(batch.slots, ref.slots)
+    # The abstain itself is memoized — no array passes on repeat calls.
+    assert len(ev._memo) == 1
+
+
+def test_vec_run_uses_evaluator_when_classifiable():
+    m = _get_method("sin", "llut_fx", True)
+    xs = _inputs_for("sin", True, 96)
+    values, batch = vec_run(m, xs)
+    _assert_bits_equal(values, m.evaluate_vec(xs), "vec_run values")
+    ref = batch_tally(m, xs)
+    assert batch.batched
+    assert batch.tally.slots == ref.tally.slots
+    assert batch.tally.counts == ref.tally.counts
+
+
+def test_evaluator_pickles_without_memo():
+    """Plans ship to worker pools; the evaluator must pickle cleanly and
+    drop its memo (pure locality, rebuilt on the worker)."""
+    m = make_method("sin", "llut_i", density_log2=8).setup()
+    ev = compile_vec(m)
+    xs = np.linspace(0.0, 1.0, 64, dtype=_F32)
+    ev.run(xs)
+    assert len(ev._memo) == 1
+    clone = pickle.loads(pickle.dumps(ev))
+    assert clone.mode == ev.mode
+    assert len(clone._memo) == 0
+    r = clone.run(xs)
+    _assert_bits_equal(r.values, ev.run(xs).values, "pickled clone values")
+
+
+def test_tally_cache_shared_with_traced_engine():
+    """Vec and traced launches share one tally cache without divergence."""
+    m = _get_method("sin", "cordic", False)
+    xs = _inputs_for("sin", False, 128)
+    cache: dict = {}
+    traced = batch_tally(m, xs, tally_cache=cache)
+    fused = compile_vec(m).run(xs, tally_cache=cache)
+    assert fused.batch.tally.slots == traced.tally.slots
+    assert fused.batch.tally.counts == traced.tally.counts
+    # Every fused path key was already cached by the traced run.
+    assert {p.key for p in fused.batch.paths} <= set(cache)

@@ -130,3 +130,56 @@ class TestComparisonsAndHelpers:
     def test_to_float32(self):
         a = FxArray.from_float([1.0 / 3.0])
         assert a.to_float32().dtype == np.float32
+
+
+class TestWrapBoundaries:
+    """Regression: operators wrap like a 32-bit register at the s3.28 limits.
+
+    Before the explicit ``fmt.wrap`` in every operator, intermediates lived
+    in int64 and only the constructor reduced them — add/sub/mul/div results
+    one lsb past the word width diverged from the counted scalar ops.
+    """
+
+    def _raw(self, *words):
+        return FxArray(np.array(words, dtype=np.int64), Q3_28)
+
+    def test_add_one_lsb_past_max_wraps_to_min(self):
+        ctx = CycleCounter()
+        top = self._raw(Q3_28.max_raw) + self._raw(1)
+        assert int(top.raw[0]) == Q3_28.min_raw
+        assert int(top.raw[0]) == fx_add(ctx, Q3_28, Q3_28.max_raw, 1)
+
+    def test_sub_one_lsb_past_min_wraps_to_max(self):
+        ctx = CycleCounter()
+        bot = self._raw(Q3_28.min_raw) - self._raw(1)
+        assert int(bot.raw[0]) == Q3_28.max_raw
+        assert int(bot.raw[0]) == fx_sub(ctx, Q3_28, Q3_28.min_raw, 1)
+
+    def test_neg_min_raw_is_min_raw(self):
+        # Two's complement has no positive counterpart for min_raw.
+        assert int((-self._raw(Q3_28.min_raw)).raw[0]) == Q3_28.min_raw
+
+    def test_mul_overflow_wraps_like_counted_op(self):
+        ctx = CycleCounter()
+        a, b = Q3_28.from_float(4.0 - Q3_28.resolution), Q3_28.from_float(4.0 - Q3_28.resolution)
+        got = self._raw(a) * self._raw(b)
+        assert int(got.raw[0]) == fx_mul(ctx, Q3_28, a, b)
+
+    def test_div_overflow_wraps_like_counted_op(self):
+        # (8.0 - lsb) / 0.5 = ~16.0 overflows s3.28's [-8, 8) range and
+        # must wrap negative, exactly as the widened counted divide does.
+        ctx = CycleCounter()
+        a = Q3_28.max_raw
+        b = Q3_28.from_float(0.5)
+        got = self._raw(a) / self._raw(b)
+        assert int(got.raw[0]) == fx_div(ctx, Q3_28, a, b)
+        assert Q3_28.to_float(int(got.raw[0])) < 0
+
+    def test_lshift_wraps(self):
+        got = self._raw(Q3_28.max_raw) << 1
+        assert int(got.raw[0]) == Q3_28.wrap(Q3_28.max_raw << 1)
+        assert Q3_28.min_raw <= int(got.raw[0]) <= Q3_28.max_raw
+
+    def test_div_by_zero_raises_like_scalar(self):
+        with pytest.raises(ZeroDivisionError):
+            self._raw(1) / self._raw(0)

@@ -1,0 +1,171 @@
+"""Scalar / vectorized / FxArray fixed-point arithmetic: one semantics.
+
+Three implementations of each fixed-point op coexist — the counted scalar
+``fx_*`` functions PIM kernels trace, the ``fx_*_vec`` numpy twins the
+classifiers use, and the ``FxArray`` operators host-side pipelines use.
+Any raw-word divergence between them is a silent correctness bug: a table
+built with one and evaluated with another would disagree exactly at the
+wrap boundaries.
+
+Hypothesis samples the *full* raw word range of every registered format
+(plus pinned boundary words), asserting all three paths produce identical
+raw words — including two's-complement wraparound — and that division by
+zero raises ``ZeroDivisionError`` identically in all three.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    FxArray,
+    Q1_30,
+    Q3_28,
+    Q15_16,
+    fx_add,
+    fx_add_vec,
+    fx_div,
+    fx_div_vec,
+    fx_mul,
+    fx_mul_vec,
+    fx_neg,
+    fx_sub,
+    fx_sub_vec,
+)
+from repro.isa.counter import CycleCounter
+
+FORMATS = [Q3_28, Q15_16, Q1_30]
+_IDS = [f"s{f.int_bits}.{f.frac_bits}" for f in FORMATS]
+
+#: Words any off-by-one-lsb or sign-handling defect hits first.
+def _boundary_words(fmt):
+    return [fmt.min_raw, fmt.min_raw + 1, -1, 0, 1,
+            fmt.max_raw - 1, fmt.max_raw]
+
+
+def _raw_words(fmt):
+    return st.integers(min_value=fmt.min_raw, max_value=fmt.max_raw)
+
+
+def _arr(raw, fmt):
+    return FxArray(np.array([raw], dtype=np.int64), fmt)
+
+
+def _assert_triple(fmt, scalar_fn, vec_fn, arr_fn, a, b=None):
+    """Scalar op, _vec twin, and FxArray operator agree on raw words."""
+    ctx = CycleCounter()
+    if b is None:
+        want = scalar_fn(ctx, fmt, a)
+        got_vec = vec_fn(fmt, np.array([a], dtype=np.int64))
+        got_arr = arr_fn(_arr(a, fmt))
+    else:
+        want = scalar_fn(ctx, fmt, a, b)
+        got_vec = vec_fn(fmt, np.array([a], dtype=np.int64),
+                         np.array([b], dtype=np.int64))
+        got_arr = arr_fn(_arr(a, fmt), _arr(b, fmt))
+    assert int(got_vec[0]) == want, f"{fmt}: vec {int(got_vec[0])} != {want}"
+    assert int(got_arr.raw[0]) == want, \
+        f"{fmt}: FxArray {int(got_arr.raw[0])} != {want}"
+    assert fmt.min_raw <= want <= fmt.max_raw
+
+
+class TestFullRange:
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_add(self, fmt, data):
+        a = data.draw(_raw_words(fmt))
+        b = data.draw(_raw_words(fmt))
+        _assert_triple(fmt, fx_add, fx_add_vec, lambda x, y: x + y, a, b)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_sub(self, fmt, data):
+        a = data.draw(_raw_words(fmt))
+        b = data.draw(_raw_words(fmt))
+        _assert_triple(fmt, fx_sub, fx_sub_vec, lambda x, y: x - y, a, b)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_mul(self, fmt, data):
+        a = data.draw(_raw_words(fmt))
+        b = data.draw(_raw_words(fmt))
+        _assert_triple(fmt, fx_mul, fx_mul_vec, lambda x, y: x * y, a, b)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_div(self, fmt, data):
+        a = data.draw(_raw_words(fmt))
+        b = data.draw(_raw_words(fmt).filter(lambda v: v != 0))
+        _assert_triple(fmt, fx_div, fx_div_vec, lambda x, y: x / y, a, b)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_neg(self, fmt, data):
+        a = data.draw(_raw_words(fmt))
+        ctx = CycleCounter()
+        want = fx_neg(ctx, fmt, a)
+        got = -_arr(a, fmt)
+        assert int(got.raw[0]) == want
+        # The _vec twin of negate is subtraction from zero.
+        assert int(fx_sub_vec(fmt, np.zeros(1, dtype=np.int64),
+                              np.array([a], dtype=np.int64))[0]) == want
+
+
+class TestBoundaries:
+    """Every pairing of boundary words, exhaustively, per format."""
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    def test_add_sub_mul_boundary_pairs(self, fmt):
+        words = _boundary_words(fmt)
+        for a in words:
+            for b in words:
+                _assert_triple(fmt, fx_add, fx_add_vec,
+                               lambda x, y: x + y, a, b)
+                _assert_triple(fmt, fx_sub, fx_sub_vec,
+                               lambda x, y: x - y, a, b)
+                _assert_triple(fmt, fx_mul, fx_mul_vec,
+                               lambda x, y: x * y, a, b)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    def test_div_boundary_pairs(self, fmt):
+        words = _boundary_words(fmt)
+        for a in words:
+            for b in words:
+                if b == 0:
+                    continue
+                _assert_triple(fmt, fx_div, fx_div_vec,
+                               lambda x, y: x / y, a, b)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    def test_neg_min_raw_wraps_to_itself(self, fmt):
+        # Two's complement: -min_raw overflows back to min_raw.
+        ctx = CycleCounter()
+        assert fx_neg(ctx, fmt, fmt.min_raw) == fmt.min_raw
+        assert int((-_arr(fmt.min_raw, fmt)).raw[0]) == fmt.min_raw
+
+
+class TestDivisionByZero:
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    def test_all_three_paths_raise(self, fmt):
+        with pytest.raises(ZeroDivisionError):
+            fx_div(CycleCounter(), fmt, 1, 0)
+        with pytest.raises(ZeroDivisionError):
+            fx_div_vec(fmt, np.array([1], dtype=np.int64),
+                       np.array([0], dtype=np.int64))
+        with pytest.raises(ZeroDivisionError):
+            _arr(1, fmt) / _arr(0, fmt)
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=_IDS)
+    def test_vec_raises_on_any_zero_lane(self, fmt):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([1, 0, 3], dtype=np.int64)
+        with pytest.raises(ZeroDivisionError):
+            fx_div_vec(fmt, a, b)
+        with pytest.raises(ZeroDivisionError):
+            FxArray(a, fmt) / FxArray(b, fmt)
