@@ -30,6 +30,7 @@ BENCH_SEEDS = {
     "plan_cache": 7,
     "pool_scaling": 7,
     "batch_vec": 7,
+    "serve": 2026,
 }
 
 

@@ -53,7 +53,6 @@ import numpy as np
 from repro.batch.engine import BatchResult, batch_tally, tally_from_keys
 from repro.batch.keys import (
     clamp_zone,
-    f2fx_exact_vec,
     ffloor_index_vec,
     fround_index_vec,
     pack_fields,
@@ -62,6 +61,7 @@ from repro.batch.keys import (
 )
 from repro.core.cordic import circular as _cordic
 from repro.core.ldexp import ldexpf_vec
+from repro.core.lut.dlut import DLUT, DLUTInterpolated
 from repro.core.lut.llut import (
     LLUT,
     LLUTFixed,
@@ -104,6 +104,10 @@ def _mode_for(method) -> str:
         return "llut_fx"
     if t is LLUTInterpolatedFixed:
         return "llut_i_fx"
+    if t is DLUT:
+        return "dlut"
+    if t is DLUTInterpolated:
+        return "dlut_i"
     return "generic"
 
 
@@ -119,11 +123,23 @@ class VecEvaluator:
     the caller's ``tally_cache`` so placement-specific costs stay exact.
     """
 
+    #: Bound on memoized path tallies per placement — far above any real
+    #: path population (keys carry a handful of zone/flag bits), present
+    #: only so a pathological key space cannot grow without limit.
+    TALLY_MEMO_CAP = 4096
+
     def __init__(self, method, memo_size: int = 8):
         self.method = method
         self.mode = _mode_for(method)
         self.memo_size = int(memo_size)
         self._memo: OrderedDict = OrderedDict()
+        #: placement -> {path key -> Tally}.  Tallies depend on the
+        #: method *and* its placement (traced load costs), nothing else —
+        #: so the evaluator can re-seed a brand-new plan's cold
+        #: ``tally_cache`` with paths it already traced for that
+        #: placement, and a cache-cold launch of a repeated input skips
+        #: re-tracing entirely.
+        self._tally_memo: Dict[object, Dict[int, Tally]] = {}
         _metrics.inc("batch.vec.compiles")
 
     # ------------------------------------------------------------------
@@ -139,6 +155,7 @@ class VecEvaluator:
         self.mode = state["mode"]
         self.memo_size = state["memo_size"]
         self._memo = OrderedDict()
+        self._tally_memo = {}
 
     # ------------------------------------------------------------------
 
@@ -161,8 +178,34 @@ class VecEvaluator:
             # array passes and go straight to the fallback chain.
             return None
         values, keys, unique = entry
+        memo = self._tally_memo.setdefault(m.placement, {})
+        ukeys = [int(k) for k in unique[0]]
+        known = [k for k in ukeys if k in memo]
+        external = tally_cache is not None
+        if not external:
+            # Cache-cold launch (no plan cache attached): serve and
+            # extend the memo directly — repeated inputs never re-trace.
+            tally_cache = memo
+        else:
+            for k in known:
+                if k not in tally_cache:
+                    tally_cache[k] = memo[k]
+        if known:
+            _metrics.inc("batch.vec.tally_memo.hits", len(known))
         batch = tally_from_keys(m, xs, keys, tally_cache=tally_cache,
                                 unique=unique)
+        if external:
+            stored = 0
+            for k in ukeys:
+                if k not in memo and k in tally_cache:
+                    if len(memo) >= self.TALLY_MEMO_CAP:
+                        break
+                    memo[k] = tally_cache[k]
+                    stored += 1
+        else:
+            stored = len(ukeys) - len(known)
+        if stored:
+            _metrics.inc("batch.vec.tally_memo.stores", stored)
         _metrics.inc("batch.vec.runs")
         return VecResult(values=values, batch=batch)
 
@@ -240,6 +283,10 @@ class VecEvaluator:
             return self._core_llut_fx(u)
         if mode == "llut_i_fx":
             return self._core_llut_i_fx(u)
+        if mode == "dlut":
+            return self._core_dlut(u)
+        if mode == "dlut_i":
+            return self._core_dlut_i(u)
         return self._core_generic(u)
 
     def _core_generic(self, u: np.ndarray):
@@ -369,6 +416,43 @@ class VecEvaluator:
             delta = (w - idx.astype(_F32)).astype(_F32)
             key = clamp_zone(ffloor_index_vec(w), m.entries - 2)
         idx = np.clip(idx, 0, m.entries - 2)
+        l0 = m._table[idx]
+        l1 = m._table[idx + 1]
+        yc = (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)
+        return yc, key
+
+    def _core_dlut(self, u: np.ndarray):
+        """Non-interpolated D-LUT: the bit pattern *is* the address.
+
+        One bitcast + shift + subtract feeds both the table gather and
+        the clamp-zone key — the generic composition runs that address
+        generation twice (once in ``core_eval_vec``, once in
+        ``core_path_vec``).
+        """
+        m = self.method
+        g = m.geom
+        u = np.asarray(u, dtype=_F32)
+        bits = u.view(np.uint32).astype(np.int64)
+        idx = (bits >> g.shift) - g.offset
+        yc = m._table[np.clip(idx, 0, g.cells - 1)]
+        return yc, clamp_zone(idx, g.cells - 1)
+
+    def _core_dlut_i(self, u: np.ndarray):
+        """Interpolated D-LUT: shared address and low-mantissa weight.
+
+        The interpolation weight comes straight from the low mantissa
+        bits of the one shared bitcast; the key is the clamp zone of the
+        *unclipped* index, exactly as ``core_path_vec`` computes it.
+        """
+        m = self.method
+        g = m.geom
+        u = np.asarray(u, dtype=_F32)
+        bits = u.view(np.uint32).astype(np.int64)
+        idx = (bits >> g.shift) - g.offset
+        low = (bits & ((1 << g.shift) - 1)).astype(_F32)
+        delta = ldexpf_vec(low, -g.shift)
+        key = clamp_zone(idx, g.cells)
+        idx = np.clip(idx, 0, g.cells)
         l0 = m._table[idx]
         l1 = m._table[idx + 1]
         yc = (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)

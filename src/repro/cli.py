@@ -17,6 +17,10 @@ Usage::
     python -m repro plan FUNCTION METHOD [knob=value ...] [--n N --shards S]
     python -m repro run FUNCTION METHOD [--n N --repeat R --shards S --overlap]
                         [--workers W --start-method fork|spawn --timeout S]
+    python -m repro serve FUNCTION METHOD [--requests R --max-batch B
+                        --max-wait S]
+    python -m repro loadgen [--profile mixed|fast --clients C --requests R
+                        --seed N --verify]
 """
 
 from __future__ import annotations
@@ -322,6 +326,71 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core.functions.registry import get_function
+    from repro.serve import ServeConfig, Server, normalize_request
+
+    spec = normalize_request(args.function, args.method,
+                             _parse_knobs(args.knobs),
+                             placement=args.placement)
+    lo, hi = get_function(args.function).natural_range
+    rng = np.random.default_rng(args.seed)
+    requests = [
+        (spec, rng.uniform(lo, hi,
+                           int(rng.integers(8, args.n + 1))
+                           ).astype(np.float32))
+        for _ in range(args.requests)
+    ]
+
+    async def drive():
+        server = Server(config=ServeConfig(
+            max_batch=args.max_batch, max_wait=args.max_wait))
+        results = await server.submit_many(requests)
+        await server.close()
+        return server, results
+
+    server, results = asyncio.run(drive())
+    stats = server.stats()
+    total = sum(r.n_elements for r in results)
+    print(f"served {len(results)} concurrent {spec.label} requests "
+          f"({total} elements) in {server.batches} coalesced batch(es)")
+    print(f"  coalesce ratio {server.coalesce_ratio:.1f} req/batch; "
+          f"plan builds {server.session.plans.misses} "
+          f"(single-flight {stats['singleflight']['leaders']} leaders / "
+          f"{stats['singleflight']['followers']} followers)")
+    print(f"  simulated batch time "
+          f"{sum(r.simulated_seconds for r in results[:1]) * 1e3:.3f} ms; "
+          f"session: {server.session.launches[-1].n_elements} elements "
+          f"in last launch")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve import ServeConfig
+    from repro.serve.loadgen import FAST_PROFILE, MIXED_PROFILE, run_load
+
+    profile = {"mixed": MIXED_PROFILE, "fast": FAST_PROFILE}[args.profile]
+    report = run_load(
+        profile,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        config=ServeConfig(max_batch=args.max_batch,
+                           max_wait=args.max_wait,
+                           max_pending=args.max_pending,
+                           hard_limit=args.hard_limit),
+        verify=args.verify,
+    )
+    print(report.summary())
+    if args.verify and report.mismatches:
+        print(f"repro loadgen: {report.mismatches} served slices were NOT "
+              "bit-identical to direct evaluation", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_breakdown(args) -> int:
     from repro.analysis.breakdown import breakdown_report
     from repro.api import make_method
@@ -487,6 +556,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="launch through the traced engine only "
                         "(bit-identical; disables the fused evaluator)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("serve",
+                       help="demonstrate the async serving front end: "
+                            "coalesce concurrent requests onto one plan")
+    p.add_argument("function")
+    p.add_argument("method")
+    p.add_argument("knobs", nargs="*", help="precision knobs")
+    p.add_argument("--placement", choices=("mram", "wram"), default="mram")
+    p.add_argument("--requests", type=int, default=32,
+                   help="concurrent requests to submit")
+    p.add_argument("--n", type=int, default=256,
+                   help="max elements per request")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="most requests one coalesced batch may carry")
+    p.add_argument("--max-wait", type=float, default=0.0,
+                   help="micro-batching window in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="seeded mixed-kernel load generation against "
+                            "the serving front end")
+    p.add_argument("--profile", choices=("mixed", "fast"), default="mixed")
+    p.add_argument("--clients", type=int, default=64,
+                   help="concurrent logical clients")
+    p.add_argument("--requests", type=int, default=8,
+                   help="requests per client")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--max-batch", type=int, default=256)
+    p.add_argument("--max-wait", type=float, default=0.0,
+                   help="micro-batching window in seconds")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="soft pending bound (backpressure above)")
+    p.add_argument("--hard-limit", type=int, default=4096,
+                   help="hard pending bound (shed at)")
+    p.add_argument("--verify", action="store_true",
+                   help="re-evaluate served slices directly and fail on "
+                        "any bitwise mismatch")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("listing",
                        help="pseudo-assembly listing of one evaluation")

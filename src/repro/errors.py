@@ -67,3 +67,26 @@ class PoolTimeoutError(PoolError):
     mid-shard without the pool noticing (the task's result then never
     arrives).
     """
+
+
+class ServerError(TransPimError):
+    """The serving front end (:mod:`repro.serve`) rejected a request."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control shed a request at the hard queue-depth limit.
+
+    Raised by :meth:`repro.serve.Server.submit` when the number of pending
+    requests has reached ``hard_limit``.  Below the hard limit but above
+    ``max_pending`` the server applies *backpressure* (the submit awaits
+    capacity) instead of shedding.
+    """
+
+
+class ServerClosedError(ServerError):
+    """A request arrived after :meth:`repro.serve.Server.close` began.
+
+    A draining server completes every request admitted before close but
+    refuses new ones; a cancelled (non-draining) close also fails the
+    requests still queued with this error.
+    """

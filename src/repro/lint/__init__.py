@@ -58,7 +58,8 @@ from repro.lint.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.lint.cachekey import check_cache_key_sources, run_cache_key
+from repro.lint.cachekey import (check_cache_key_sources,
+                                 check_request_key_sources, run_cache_key)
 from repro.lint.contracts import check_contract, run_contracts
 from repro.lint.determinism import check_determinism_source, run_determinism
 from repro.lint.intervals import (
@@ -84,6 +85,7 @@ __all__ = [
     "Violation",
     "apply_baseline",
     "check_cache_key_sources",
+    "check_request_key_sources",
     "check_contract",
     "check_determinism_source",
     "check_method_intervals",

@@ -37,6 +37,24 @@ Rules (pass name ``cache-key``):
     The coverage contract names a key field that does not exist.
 ``key-unstable-component`` (error)
     A key-builder function formats a component with ``repr()`` / ``!r``.
+
+The serving front end adds a second key producer: a normalized
+:class:`~repro.serve.keys.RequestSpec` decides which requests may
+*coalesce* onto one cached plan, so its identity must flow — totally —
+into ``PlanKey``.  The same discipline applies, with its own rules:
+
+``request-key-unmapped-field`` (error)
+    A ``RequestSpec`` field is missing from the request coverage
+    contract: requests differing in it could coalesce onto one plan.
+``request-key-unknown-field`` (error)
+    The request coverage contract names a spec field that does not exist
+    (a stale contract proves nothing).
+``request-key-unknown-coverage`` (error)
+    The request coverage maps into a ``PlanKey`` field that does not
+    exist.
+
+``key-unstable-component`` also runs over the serve key builders
+(:data:`SERVE_KEY_BUILDERS`).
 """
 
 from __future__ import annotations
@@ -51,7 +69,10 @@ from repro.lint.report import Violation
 __all__ = [
     "DEFAULT_COVERAGE",
     "DEFAULT_STATE_ATTRS",
+    "REQUEST_COVERAGE",
+    "SERVE_KEY_BUILDERS",
     "check_cache_key_sources",
+    "check_request_key_sources",
     "run_cache_key",
 ]
 
@@ -79,6 +100,23 @@ DEFAULT_STATE_ATTRS: Set[str] = {
 #: Functions in the cache module whose bodies build key components.
 DEFAULT_KEY_BUILDERS: Tuple[str, ...] = (
     "_method_parts", "table_signature", "plan_signature", "key_for",
+)
+
+#: RequestSpec field -> PlanKey field(s) its identity flows into.  The
+#: function/method names, constructor knobs, and range assumption all fold
+#: into the table signature (via ``make_method`` + ``table_signature``);
+#: placement is the plan key's own placement field.
+REQUEST_COVERAGE: Dict[str, Tuple[str, ...]] = {
+    "function": ("table_key",),
+    "method": ("table_key",),
+    "params": ("table_key",),
+    "placement": ("placement",),
+    "assume_in_range": ("table_key",),
+}
+
+#: Functions in the serve key module whose bodies build key components.
+SERVE_KEY_BUILDERS: Tuple[str, ...] = (
+    "_param_pairs", "normalize_request", "spec_method", "request_key",
 )
 
 
@@ -276,14 +314,100 @@ def check_cache_key_sources(
     return violations, stats
 
 
+def check_request_key_sources(
+    serve_source: str,
+    cache_source: str,
+    *,
+    serve_file: str = "<serve>",
+    cache_file: str = "<cache>",
+    spec_class: str = "RequestSpec",
+    key_class: str = "PlanKey",
+    coverage: Optional[Dict[str, Tuple[str, ...]]] = None,
+    key_builders: Sequence[str] = SERVE_KEY_BUILDERS,
+) -> Tuple[List[Violation], Dict[str, int]]:
+    """Prove the serving request key maps totally into the plan key.
+
+    A spec field outside the coverage contract is a potential unsound
+    *coalesce*: two requests that differ in it would share one batch and
+    one cached plan.  The builders are also held to the no-repr rule.
+    """
+    coverage = REQUEST_COVERAGE if coverage is None else coverage
+
+    serve_tree = ast.parse(serve_source, filename=serve_file)
+    cache_tree = ast.parse(cache_source, filename=cache_file)
+    violations: List[Violation] = []
+
+    spec_cls = _find_class(serve_tree, spec_class)
+    key_cls = _find_class(cache_tree, key_class)
+    if spec_cls is None:
+        raise ConfigurationError(
+            f"class {spec_class!r} not found in {serve_file}")
+    if key_cls is None:
+        raise ConfigurationError(
+            f"class {key_class!r} not found in {cache_file}")
+
+    spec_fields = _key_fields(spec_cls)
+    key_fields = _key_fields(key_cls)
+
+    for attr, fields in sorted(coverage.items()):
+        if attr not in spec_fields:
+            violations.append(Violation(
+                pass_name="cache-key", rule="request-key-unknown-field",
+                severity="error",
+                message=f"request coverage names spec field {attr!r}, which "
+                        f"{spec_class} does not declare — a stale contract "
+                        "proves nothing",
+                file=serve_file, line=spec_cls.lineno,
+                where=f"{spec_class}.{attr}",
+            ))
+        for f in fields:
+            if f not in key_fields:
+                violations.append(Violation(
+                    pass_name="cache-key", rule="request-key-unknown-coverage",
+                    severity="error",
+                    message=f"request coverage maps spec field {attr!r} to "
+                            f"key field {f!r}, which {key_class} does not "
+                            "declare",
+                    file=cache_file, line=key_cls.lineno,
+                    where=f"{key_class}.{f}",
+                ))
+
+    for attr in spec_fields:
+        if attr not in coverage:
+            violations.append(Violation(
+                pass_name="cache-key", rule="request-key-unmapped-field",
+                severity="error",
+                message=f"{spec_class}.{attr} does not flow into "
+                        f"{key_class}: requests that differ in it could "
+                        "coalesce onto one batch and one cached plan",
+                file=serve_file, line=spec_cls.lineno,
+                where=f"{spec_class}.{attr}",
+            ))
+
+    violations.extend(
+        _unstable_components(serve_tree, serve_file, key_builders))
+
+    stats = {"request_fields": len(spec_fields)}
+    return violations, stats
+
+
 def run_cache_key(
     plan_module: str = "repro.plan.plan",
     cache_module: str = "repro.plan.cache",
+    serve_module: str = "repro.serve.keys",
 ) -> Tuple[List[Violation], Dict[str, int]]:
-    """Verify the shipped plan/cache pair (the default whole-program run)."""
+    """Verify the shipped plan/cache/serve triple (the whole-program run)."""
     plan_file, plan_source = _module_source(plan_module)
     cache_file, cache_source = _module_source(cache_module)
-    return check_cache_key_sources(
+    violations, stats = check_cache_key_sources(
         plan_source, cache_source,
         plan_file=plan_file, cache_file=cache_file,
     )
+    serve_file, serve_source = _module_source(serve_module)
+    serve_violations, serve_stats = check_request_key_sources(
+        serve_source, cache_source,
+        serve_file=serve_file, cache_file=cache_file,
+    )
+    violations.extend(serve_violations)
+    stats.update(serve_stats)
+    return violations, stats

@@ -32,6 +32,10 @@ COUNTERS: Dict[str, str] = {
     "batch.vec.memo.hits": "fused (values, keys, unique) memo hits",
     "batch.vec.memo.misses": "fused array passes computed and memoized",
     "batch.vec.fallbacks": "vec_run calls that fell back to the traced engine",
+    "batch.vec.tally_memo.hits":
+        "path tallies prefilled into a cold cache from the evaluator memo",
+    "batch.vec.tally_memo.stores":
+        "path tallies harvested into the evaluator's per-placement memo",
     # per-core simulation
     "dpu.kernel_runs": "DPU.run_kernel invocations",
     "dpu.dma_bytes": "MRAM DMA bytes moved by kernels",
@@ -58,6 +62,16 @@ COUNTERS: Dict[str, str] = {
     "session.launches": "PlanSession.launch calls",
     "session.elements": "elements served across session launches",
     "session.streams": "PlanSession.launch_stream calls",
+    # async serving front end
+    "serve.requests": "requests admitted by the serving front end",
+    "serve.requests_shed": "requests shed at the hard queue-depth limit",
+    "serve.backpressure_waits": "submits that awaited admission capacity",
+    "serve.batches": "coalesced batches dispatched",
+    "serve.batch_requests": "requests carried by coalesced batches",
+    "serve.elements": "elements dispatched through coalesced batches",
+    "serve.singleflight.leaders": "plan builds run as single-flight leaders",
+    "serve.singleflight.followers":
+        "plan builds avoided by awaiting an in-flight leader",
     # sweep engine
     "sweep.points": "sweep configurations evaluated",
     "sweep.skipped_oversized": "sweep points skipped for table size",
@@ -85,6 +99,13 @@ GAUGES: Dict[str, str] = {
         "fraction of pool wall-time the workers spent on shard tasks",
     "session.stream_saving_seconds":
         "simulated seconds hidden by pipelining a launch stream",
+    "serve.queue_depth":
+        "pending + waiting requests at the latest admission",
+    "serve.coalesce_ratio":
+        "requests per dispatched batch over a server's lifetime",
+    "serve.latency_p50_seconds": "load-generator median request latency",
+    "serve.latency_p95_seconds": "load-generator p95 request latency",
+    "serve.latency_p99_seconds": "load-generator p99 request latency",
     "dpu.dma_hidden_fraction":
         "fraction of DMA time hidden behind compute",
     "tablecache.bytes": "resident bytes in the table cache",

@@ -38,7 +38,8 @@ from repro.pim.config import SystemConfig
 from repro.pim.system import PIMSystem
 from repro.plan.plan import ExecutionPlan, TransferSchedule, compile_plan
 
-__all__ = ["PlanCache", "PlanKey", "plan_signature", "table_signature"]
+__all__ = ["PlanCache", "PlanKey", "key_for", "plan_signature",
+           "table_signature"]
 
 _PRIMITIVE = (bool, int, float, str, np.floating, np.integer, np.bool_)
 
@@ -134,6 +135,30 @@ class PlanKey:
     vec: bool = True
 
 
+def key_for(system: PIMSystem, method: Method, *,
+            tasklets: int = 16, sample_size: int = 64,
+            transfers: Optional[TransferSchedule] = None,
+            imbalance: float = 0.0, vec: bool = True) -> PlanKey:
+    """The PlanKey a :meth:`PlanCache.plan` call with these arguments uses.
+
+    Module-level so key producers that are not caches — the serving front
+    end's normalized request keys (:mod:`repro.serve.keys`) — derive their
+    identity through the exact same builder.
+    """
+    return PlanKey(
+        table_key=table_signature(method),
+        placement=method.placement,
+        system=system.config,
+        costs=system.costs,
+        tasklets=tasklets,
+        sample_size=sample_size,
+        transfers=transfers if transfers is not None
+        else TransferSchedule(),
+        imbalance=imbalance,
+        vec=vec,
+    )
+
+
 @dataclass
 class _PoolEntry:
     """One built table image shared by every placement's plan."""
@@ -176,18 +201,9 @@ class PlanCache:
                 transfers: Optional[TransferSchedule] = None,
                 imbalance: float = 0.0, vec: bool = True) -> PlanKey:
         """The PlanKey a :meth:`plan` call with these arguments would use."""
-        return PlanKey(
-            table_key=table_signature(method),
-            placement=method.placement,
-            system=system.config,
-            costs=system.costs,
-            tasklets=tasklets,
-            sample_size=sample_size,
-            transfers=transfers if transfers is not None
-            else TransferSchedule(),
-            imbalance=imbalance,
-            vec=vec,
-        )
+        return key_for(system, method, tasklets=tasklets,
+                       sample_size=sample_size, transfers=transfers,
+                       imbalance=imbalance, vec=vec)
 
     def plan(self, system: PIMSystem, method: Method, *,
              tasklets: int = 16, sample_size: int = 64,

@@ -136,11 +136,40 @@ class PlanSession:
         in survives the launch and keeps its warm workers.
         """
         fn = self.runtime[name]
-        with _span("session.launch", function=name, shards=shards) as sp:
-            plan = self.plans.plan(
-                self.runtime.system, fn.method, tasklets=self.tasklets,
-                sample_size=self.sample_size, transfers=transfers,
-            )
+        plan = self.plans.plan(
+            self.runtime.system, fn.method, tasklets=self.tasklets,
+            sample_size=self.sample_size, transfers=transfers,
+        )
+        return self.execute_plan(
+            name, plan, inputs, shards=shards, overlap=overlap,
+            virtual_n=virtual_n, batch=batch, workers=workers, pool=pool,
+            start_method=start_method, timeout=timeout,
+        )
+
+    def execute_plan(
+        self,
+        label: str,
+        plan,
+        inputs,
+        *,
+        shards: int = 1,
+        overlap: bool = False,
+        virtual_n: Optional[int] = None,
+        batch: bool = True,
+        workers: Optional[int] = None,
+        pool=None,
+        start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Union[SystemRunResult, ShardedRunResult]:
+        """Execute an already-compiled plan under this session's accounting.
+
+        The dispatch half of :meth:`launch`, exposed so callers that obtain
+        plans elsewhere — the serving front end compiles through its
+        single-flight path before dispatching coalesced batches here — still
+        land in the session's launch records, per-function stats, and
+        ``session.*`` metrics.  ``label`` names the launch in those records.
+        """
+        with _span("session.launch", function=label, shards=shards) as sp:
             if shards > 1:
                 result = execute_sharded(
                     plan, inputs, n_shards=shards, overlap=overlap,
@@ -154,7 +183,7 @@ class PlanSession:
                 )
             sp.set(sim_seconds=result.total_seconds,
                    n_elements=result.n_elements)
-        self._record(name, result, shards, overlap)
+        self._record(label, result, shards, overlap)
         return result
 
     def _record(self, name: str, result, shards: int,

@@ -1,0 +1,140 @@
+"""Admission control: bounded queue depth, backpressure, load shedding.
+
+A coalescing server is only as stable as its queue: without a bound,
+a traffic spike grows the pending set (and its numpy payloads) without
+limit, and latency follows.  :class:`AdmissionController` enforces a
+two-tier bound on the number of *pending requests* (admitted but not yet
+completed):
+
+soft limit (``max_pending``) — **backpressure**
+    An arriving request above the soft limit *awaits* capacity instead of
+    queueing; well-behaved async clients slow down to the service rate.
+    Waiters are woken in FIFO order as completions free capacity.
+
+hard limit (``hard_limit``) — **load shedding**
+    Counting the requests already waiting for capacity, an arrival that
+    would push the total at or beyond the hard limit fails fast with
+    :class:`~repro.errors.ServerOverloadedError`.  Shedding at the door
+    costs the client one exception instead of an unbounded wait, and the
+    server keeps its queue (and its tail latency) bounded.
+
+``close()`` fails all waiters with :class:`~repro.errors.ServerClosedError`
+and makes further admission attempts raise it too; requests already
+admitted are unaffected (the server drains them).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict
+
+from repro.errors import (ConfigurationError, ServerClosedError,
+                          ServerOverloadedError)
+from repro.obs import metrics as _metrics
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Two-tier pending-request bound: await above soft, shed at hard."""
+
+    def __init__(self, max_pending: int = 1024,
+                 hard_limit: int = 4096) -> None:
+        if max_pending < 1:
+            raise ConfigurationError("admission needs max_pending >= 1")
+        if hard_limit < max_pending:
+            raise ConfigurationError(
+                f"hard_limit ({hard_limit}) must be >= max_pending "
+                f"({max_pending})")
+        self.max_pending = int(max_pending)
+        self.hard_limit = int(hard_limit)
+        #: Requests admitted and not yet released (queued or dispatching).
+        self.pending = 0
+        #: Total requests ever admitted / shed / made to wait.
+        self.admitted = 0
+        self.shed = 0
+        self.waited = 0
+        self._waiters: Deque["asyncio.Future[None]"] = deque()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Pending requests plus arrivals waiting for capacity."""
+        return self.pending + len(self._waiters)
+
+    async def admit(self) -> None:
+        """Admit one request: return, await capacity, or shed.
+
+        Raises :class:`~repro.errors.ServerOverloadedError` when the total
+        depth (pending + waiting) has reached the hard limit, and
+        :class:`~repro.errors.ServerClosedError` once :meth:`close` ran.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed to new requests")
+        if self.depth >= self.hard_limit:
+            self.shed += 1
+            _metrics.inc("serve.requests_shed")
+            raise ServerOverloadedError(
+                f"queue depth {self.depth} at hard limit "
+                f"{self.hard_limit}; request shed")
+        if self.pending >= self.max_pending:
+            self.waited += 1
+            _metrics.inc("serve.backpressure_waits")
+            loop = asyncio.get_running_loop()
+            waiter: "asyncio.Future[None]" = loop.create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                # A cancelled waiter must not strand the grant it may
+                # have just been handed — pass it on.
+                if waiter.done() and not waiter.cancelled():
+                    self._wake_one()
+                raise
+            finally:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+        self.pending += 1
+        self.admitted += 1
+        _metrics.inc("serve.requests")
+        _metrics.observe("serve.queue_depth", self.depth)
+
+    def release(self, n: int = 1) -> None:
+        """Return capacity for ``n`` completed (or failed) requests."""
+        self.pending -= int(n)
+        for _ in range(int(n)):
+            if self.pending + 1 > self.max_pending:
+                break
+            self._wake_one()
+
+    def _wake_one(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse future admissions; fail everyone waiting for capacity."""
+        self._closed = True
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(
+                    ServerClosedError("server closed while awaiting "
+                                      "admission capacity"))
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (also mirrored in ``repro.obs.metrics``)."""
+        return {
+            "pending": self.pending,
+            "waiting": len(self._waiters),
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "waited": self.waited,
+        }

@@ -1,0 +1,91 @@
+"""Single-flight execution: N concurrent identical calls, one execution.
+
+Plan compilation is the serving layer's expensive setup step — a table
+build can cost orders of magnitude more than the launch it enables (the
+paper's setup-vs-throughput split, Figure 6).  When a traffic burst lands
+N concurrent requests for a not-yet-compiled kernel, the naive path builds
+the same table N times.  :class:`SingleFlight` collapses the burst: the
+first caller for a key becomes the *leader* and runs the builder; every
+concurrent caller for the same key becomes a *follower* and awaits the
+leader's shared future.  Exactly one build runs; everyone gets its result
+(or its exception).
+
+Flights are keyed by any hashable — the server keys them by the normalized
+:class:`~repro.plan.cache.PlanKey` — and are removed once resolved, so a
+*later* call (after the flight lands) runs the builder again; idempotent
+builders such as :meth:`~repro.plan.cache.PlanCache.plan` then simply hit
+their own cache.
+
+Cancellation discipline: followers await a ``shield`` of the shared
+future, so one follower being cancelled never tears down the flight the
+others (and the leader) are still riding.  A cancelled *leader* fails the
+flight for everyone — the callers then retry or propagate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Any, Callable, Dict, Hashable
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Deduplicates concurrent calls per key onto one shared execution."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[Hashable, "asyncio.Future[Any]"] = {}
+        #: Calls that ran the builder (one per landed flight).
+        self.leaders = 0
+        #: Calls served by awaiting another call's in-flight builder.
+        self.followers = 0
+
+    def __len__(self) -> int:
+        """Number of flights currently in the air."""
+        return len(self._flights)
+
+    async def run(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """``builder()`` once per concurrent burst of ``key``.
+
+        ``builder`` may be a plain callable or return an awaitable (both
+        are supported so a builder can hop onto an executor).  The
+        leader's result — or exception — is shared with every concurrent
+        caller of the same key.
+        """
+        existing = self._flights.get(key)
+        if existing is not None:
+            self.followers += 1
+            _metrics.inc("serve.singleflight.followers")
+            return await asyncio.shield(existing)
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._flights[key] = future
+        self.leaders += 1
+        _metrics.inc("serve.singleflight.leaders")
+        try:
+            result = builder()
+            if inspect.isawaitable(result):
+                result = await result
+        except BaseException as exc:
+            self._flights.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved so a flight with zero followers does not
+                # log "exception was never retrieved" at GC time; awaiting
+                # followers still receive the exception normally.
+                future.exception()
+            raise
+        else:
+            self._flights.pop(key, None)
+            if not future.done():
+                future.set_result(result)
+            return result
+
+    def stats(self) -> Dict[str, int]:
+        """Leader/follower counts plus flights currently open."""
+        return {"leaders": self.leaders, "followers": self.followers,
+                "in_flight": len(self._flights)}

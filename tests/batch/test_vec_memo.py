@@ -1,0 +1,136 @@
+"""Per-path tally memo: cache-cold launches of known paths skip re-tracing.
+
+The per-placement memo in :class:`~repro.batch.vec.VecEvaluator` persists
+the placement-specific ``{path key -> Tally}`` mapping across plans: it
+pre-seeds a brand-new plan's cold ``tally_cache`` with paths already
+traced for that placement, and when no external cache is attached at all
+(cache-cold launch) it serves as the cache directly.  Correctness is
+anchored by the differential suite — these tests pin the *reuse*
+semantics: what gets prefilled, what gets harvested, what survives
+pickling, and that reuse changes no numbers.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.api import make_method
+from repro.batch import batch_tally, compile_vec
+from repro.batch.vec import VecEvaluator
+from repro.obs.metrics import MetricsRegistry, collecting
+
+_F32 = np.float32
+
+
+def _method(function="tanh", method="dlut", **kwargs):
+    return make_method(function, method, **kwargs).setup()
+
+
+def _inputs(n, seed, lo=-6.0, hi=6.0):
+    return np.random.default_rng(seed).uniform(lo, hi, n).astype(_F32)
+
+
+class TestFusedDLUTModes:
+    def test_dlut_family_classifies_into_fused_kernels(self):
+        assert compile_vec(_method("tanh", "dlut")).mode == "dlut"
+        assert compile_vec(_method("gelu", "dlut_i")).mode == "dlut_i"
+        # The composite DL-LUT routes through its own sub-methods; it must
+        # NOT be captured by the direct-table kernels.
+        assert compile_vec(_method("tanh", "dllut")).mode == "generic"
+
+    def test_fused_dlut_values_bit_identical(self):
+        for fn, meth in [("tanh", "dlut"), ("gelu", "dlut_i")]:
+            m = _method(fn, meth)
+            xs = _inputs(256, seed=3)
+            fused = compile_vec(m).run(xs, tally_cache={})
+            assert fused.values.tobytes() == m.evaluate_vec(xs).tobytes()
+            ref = batch_tally(m, xs)
+            assert fused.batch.tally.counts == ref.tally.counts
+            assert fused.batch.tally.slots == ref.tally.slots
+
+
+class TestTallyMemo:
+    def test_cold_external_cache_is_prefilled_from_memo(self):
+        ev = compile_vec(_method())
+        xs = _inputs(128, seed=1)
+        warm_cache = {}
+        ev.run(xs, tally_cache=warm_cache)          # traces + harvests
+        assert ev._tally_memo["mram"]               # harvested paths
+        n_paths = len(ev._tally_memo["mram"])
+        assert len(warm_cache) == n_paths
+
+        cold_cache = {}                             # a brand-new plan
+        registry = MetricsRegistry()
+        with collecting(registry):
+            # Different values, same path population -> pure memo serve.
+            ev.run(_inputs(128, seed=2), tally_cache=cold_cache)
+        assert len(cold_cache) == n_paths
+        assert registry.value("batch.vec.tally_memo.hits") == n_paths
+
+    def test_cache_cold_launch_uses_memo_directly(self):
+        ev = compile_vec(_method())
+        first = ev.run(_inputs(96, seed=5))          # no cache attached
+        stored = len(ev._tally_memo["mram"])
+        assert stored > 0
+
+        registry = MetricsRegistry()
+        with collecting(registry):
+            second = ev.run(_inputs(96, seed=6))
+        assert registry.value("batch.vec.tally_memo.hits") == stored
+        # Reuse changes no numbers: per-path tallies are input-independent.
+        assert first.batch.tally.counts.keys() \
+            == second.batch.tally.counts.keys()
+
+    def test_harvest_counts_only_new_paths(self):
+        ev = compile_vec(_method("gelu", "dlut_i"))
+        registry = MetricsRegistry()
+        with collecting(registry):
+            ev.run(_inputs(200, seed=7), tally_cache={})
+        stores = registry.value("batch.vec.tally_memo.stores")
+        assert stores == len(ev._tally_memo["mram"])
+
+        registry = MetricsRegistry()
+        with collecting(registry):
+            ev.run(_inputs(200, seed=8), tally_cache={})
+        assert registry.value("batch.vec.tally_memo.stores", 0) == 0
+
+    def test_memo_is_per_placement(self):
+        mram = compile_vec(_method(placement="mram"))
+        wram = compile_vec(_method(placement="wram"))
+        xs = _inputs(64, seed=9)
+        mram.run(xs, tally_cache={})
+        wram.run(xs, tally_cache={})
+        assert set(mram._tally_memo) == {"mram"}
+        assert set(wram._tally_memo) == {"wram"}
+        # Placement changes traced load costs; memoized tallies differ.
+        k = next(iter(mram._tally_memo["mram"]))
+        if k in wram._tally_memo["wram"]:
+            assert mram._tally_memo["mram"][k].counts \
+                != wram._tally_memo["wram"][k].counts
+
+    def test_memo_reuse_is_bit_identical_to_fresh_trace(self):
+        m = _method()
+        warm = compile_vec(m)
+        warm.run(_inputs(128, seed=10), tally_cache={})   # populate memo
+        xs = _inputs(128, seed=11)
+        served = warm.run(xs, tally_cache={})             # memo-assisted
+        fresh = compile_vec(m).run(xs, tally_cache={})    # full re-trace
+        assert served.batch.tally.counts == fresh.batch.tally.counts
+        assert served.batch.tally.slots == fresh.batch.tally.slots
+        np.testing.assert_array_equal(served.batch.slots, fresh.batch.slots)
+        assert served.values.tobytes() == fresh.values.tobytes()
+
+    def test_memo_cap_bounds_growth(self, monkeypatch):
+        ev = compile_vec(_method())
+        monkeypatch.setattr(VecEvaluator, "TALLY_MEMO_CAP", 1)
+        ev.run(_inputs(256, seed=12), tally_cache={})
+        assert len(ev._tally_memo["mram"]) <= 1
+
+    def test_pickle_drops_the_tally_memo(self):
+        ev = compile_vec(_method())
+        ev.run(_inputs(64, seed=13), tally_cache={})
+        assert ev._tally_memo["mram"]
+        clone = pickle.loads(pickle.dumps(ev))
+        assert clone._tally_memo == {}
+        # And the clone still works from scratch.
+        assert clone.run(_inputs(64, seed=13), tally_cache={}) is not None

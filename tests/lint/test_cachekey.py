@@ -5,7 +5,8 @@ import textwrap
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.lint import check_cache_key_sources, run_cache_key
+from repro.lint import (check_cache_key_sources, check_request_key_sources,
+                        run_cache_key)
 
 # A minimal sound plan/cache pair the seeded defects perturb one at a time.
 SOUND_PLAN = textwrap.dedent("""
@@ -151,6 +152,79 @@ class TestConfigErrors:
             check_cache_key_sources(SOUND_PLAN, "x = 1")
 
 
+# A minimal sound serve-key module: every RequestSpec field flows into the
+# PlanKey of SOUND_CACHE through the coverage contract.
+SOUND_SERVE = textwrap.dedent("""
+    class RequestSpec:
+        function: str
+        placement: str
+
+    def normalize_request(function, placement):
+        return RequestSpec()
+
+    def request_key(spec):
+        return ("k", str(spec.function), str(spec.placement))
+""")
+
+REQ_COVERAGE = {"function": ("table_key",), "placement": ("placement",)}
+REQ_BUILDERS = ("normalize_request", "request_key")
+
+
+def _check_request(serve=SOUND_SERVE, cache=SOUND_CACHE,
+                   coverage=REQ_COVERAGE):
+    return check_request_key_sources(
+        serve, cache, coverage=coverage, key_builders=REQ_BUILDERS)
+
+
+class TestRequestKeySoundPair:
+    def test_clean(self):
+        violations, stats = _check_request()
+        assert violations == []
+        assert stats == {"request_fields": 2}
+
+
+class TestRequestKeySeededDefects:
+    def test_unmapped_spec_field(self):
+        # Seeded defect: a new RequestSpec knob nobody mapped into the
+        # plan key -> requests differing in it would share one batch.
+        serve = SOUND_SERVE.replace(
+            "placement: str", "placement: str\n    assume_in_range: bool")
+        violations, _ = _check_request(serve=serve)
+        assert [v.rule for v in violations] == ["request-key-unmapped-field"]
+        v = violations[0]
+        assert v.severity == "error"
+        assert v.where == "RequestSpec.assume_in_range"
+
+    def test_unknown_spec_field_in_coverage(self):
+        # Seeded defect: the contract names a spec field lost in a
+        # refactor -> a stale contract proves nothing.
+        coverage = dict(REQ_COVERAGE, qformat=("table_key",))
+        violations, _ = _check_request(coverage=coverage)
+        assert [v.rule for v in violations] == ["request-key-unknown-field"]
+        assert violations[0].where == "RequestSpec.qformat"
+
+    def test_unknown_key_field_in_coverage(self):
+        # Seeded defect: coverage maps into a PlanKey field that does not
+        # exist.
+        coverage = dict(REQ_COVERAGE, function=("tbl_key",))
+        violations, _ = _check_request(coverage=coverage)
+        assert [v.rule for v in violations] == ["request-key-unknown-coverage"]
+        assert violations[0].where == "PlanKey.tbl_key"
+
+    def test_repr_in_serve_builder(self):
+        # Seeded defect: repr-formatted component in a serve key builder.
+        serve = SOUND_SERVE.replace(
+            'return ("k", str(spec.function), str(spec.placement))',
+            'return ("k", f"{spec.function!r}", str(spec.placement))')
+        violations, _ = _check_request(serve=serve)
+        assert [v.rule for v in violations] == ["key-unstable-component"]
+        assert violations[0].where == "request_key"
+
+    def test_missing_spec_class(self):
+        with pytest.raises(ConfigurationError):
+            check_request_key_sources("x = 1", SOUND_CACHE)
+
+
 class TestShippedTree:
     def test_shipped_plan_cache_pair_is_sound(self):
         violations, stats = run_cache_key()
@@ -158,3 +232,5 @@ class TestShippedTree:
         assert stats["key_fields"] == 9
         assert stats["plan_attrs"] >= 12
         assert stats["execute_reads"] >= 10
+        # The serving RequestSpec rides the same whole-program run.
+        assert stats["request_fields"] == 5

@@ -1,0 +1,430 @@
+"""Server: coalescing, bit-exactness, single-flight, admission, drain."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import (ConfigurationError, ServerClosedError,
+                          ServerOverloadedError)
+from repro.serve import ServeConfig, Server, normalize_request
+from repro.serve.keys import spec_method
+
+_F32 = np.float32
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _inputs(function: str, n: int, seed: int) -> np.ndarray:
+    from repro.core.functions.registry import get_function
+    lo, hi = get_function(function).natural_range
+    return np.random.default_rng(seed).uniform(lo, hi, n).astype(_F32)
+
+
+# Mixed-kernel request profile: lookup, fused D-LUT, fixed-point, CORDIC.
+MIXED = [
+    ("sin", "llut_i"),
+    ("tanh", "dlut"),
+    ("gelu", "dlut_i"),
+    ("sin", "llut_fx"),
+    ("sin", "cordic"),
+]
+
+_DIRECT_CACHE = {}
+
+
+def _direct(function: str, method: str, xs: np.ndarray) -> np.ndarray:
+    """Reference evaluation of one request alone (bit-exact ground truth).
+
+    ``Method.evaluate_vec`` is what ``PIMSystem.run``'s accuracy path
+    computes; the differential suites prove it equals the scalar trace
+    and the fused evaluator bit for bit.
+    """
+    m = _DIRECT_CACHE.get((function, method))
+    if m is None:
+        m = spec_method(normalize_request(function, method))
+        m.setup()
+        _DIRECT_CACHE[(function, method)] = m
+    return m.evaluate_vec(xs)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_batch(self):
+        spec = normalize_request("sin", "llut_i")
+        inputs = [_inputs("sin", 16 + i, seed=i) for i in range(12)]
+
+        async def main():
+            server = Server()
+            results = await server.submit_many(
+                [(spec, xs) for xs in inputs])
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        assert server.batches == 1
+        assert all(r.batch_requests == 12 for r in results)
+        assert server.coalesce_ratio == 12.0
+
+    def test_mixed_kernels_coalesce_per_lane(self):
+        requests = []
+        for i, (fn, meth) in enumerate(MIXED):
+            spec = normalize_request(fn, meth)
+            for j in range(3):
+                requests.append((spec, _inputs(fn, 8 + j, seed=i * 10 + j)))
+
+        async def main():
+            server = Server()
+            results = await server.submit_many(requests)
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        # One batch per distinct kernel, three requests each.
+        assert server.batches == len(MIXED)
+        assert all(r.batch_requests == 3 for r in results)
+
+    def test_max_batch_caps_one_dispatch(self):
+        spec = normalize_request("sin", "llut_i")
+        inputs = [_inputs("sin", 8, seed=i) for i in range(10)]
+
+        async def main():
+            server = Server(config=ServeConfig(max_batch=4))
+            results = await server.submit_many([(spec, xs) for xs in inputs])
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        assert server.batches >= 3
+        assert max(r.batch_requests for r in results) <= 4
+
+    def test_results_recorded_in_session(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server()
+            await server.submit_spec(spec, _inputs("sin", 32, seed=1))
+            await server.close()
+            return server
+
+        server = _run(main())
+        assert len(server.session.launches) == 1
+        assert server.session.launches[0].function == "llut_i:sin"
+        assert server.session.launches[0].n_elements == 32
+
+
+class TestBitExactness:
+    def test_coalesced_slices_equal_direct_evaluation(self):
+        """Every request's slice == evaluating that request alone."""
+        requests, expected = [], []
+        for i, (fn, meth) in enumerate(MIXED):
+            spec = normalize_request(fn, meth)
+            for j in range(4):
+                xs = _inputs(fn, 5 + 3 * j, seed=100 + i * 10 + j)
+                requests.append((spec, xs))
+                expected.append(_direct(fn, meth, xs))
+
+        async def main():
+            server = Server()
+            results = await server.submit_many(requests)
+            await server.close()
+            return results
+
+        results = _run(main())
+        for r, want in zip(results, expected):
+            assert r.values.dtype == np.float32
+            assert r.values.tobytes() == want.tobytes()
+
+    def test_slices_are_owned_copies(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server()
+            r = await server.submit_spec(spec, _inputs("sin", 16, seed=3))
+            await server.close()
+            return r
+
+        r = _run(main())
+        assert r.values.flags.owndata
+        r.values[:] = 0.0  # writable: not a view pinning the memo
+
+
+class TestSingleFlightBuilds:
+    def test_n_identical_cold_requests_build_one_plan(self):
+        spec = normalize_request("sin", "llut_i")
+        inputs = [_inputs("sin", 8, seed=i) for i in range(16)]
+
+        async def main():
+            server = Server()
+            await server.submit_many([(spec, xs) for xs in inputs])
+            await server.close()
+            return server
+
+        server = _run(main())
+        assert server.session.plans.misses == 1   # exactly one plan build
+        assert server.session.plans.stats()["table_misses"] == 1
+        flights = server.stats()["singleflight"]
+        assert flights["leaders"] == 1
+        assert flights["followers"] == 15
+
+    def test_warm_lane_skips_the_flight(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server()
+            await server.submit_spec(spec, _inputs("sin", 8, seed=0))
+            await server.submit_spec(spec, _inputs("sin", 8, seed=1))
+            await server.close()
+            return server
+
+        server = _run(main())
+        assert server.stats()["singleflight"]["leaders"] == 1
+        assert server.session.plans.misses == 1
+
+
+class TestAdmission:
+    def test_overload_sheds_with_server_overloaded_error(self):
+        spec = normalize_request("sin", "llut_i")
+
+        class Gated(Server):
+            """Holds batches so pending depth actually accumulates."""
+
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self.gate = None
+
+            async def _dispatch_batch(self, lane, xs):
+                await self.gate.wait()
+                return await super()._dispatch_batch(lane, xs)
+
+        async def main():
+            server = Gated(config=ServeConfig(
+                max_batch=1, max_pending=2, hard_limit=4))
+            server.gate = asyncio.Event()
+            xs = _inputs("sin", 4, seed=0)
+            tasks = [asyncio.ensure_future(server.submit_spec(spec, xs))
+                     for _ in range(8)]
+            for _ in range(20):
+                await asyncio.sleep(0)
+            server.gate.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        shed = [r for r in results if isinstance(r, ServerOverloadedError)]
+        ok = [r for r in results if not isinstance(r, BaseException)]
+        assert len(shed) == 4      # depth 4 = hard limit -> shed
+        assert len(ok) == 4        # 2 admitted + 2 backpressured
+        assert server._admission.shed == 4
+        assert server._admission.waited >= 1
+
+    def test_backpressure_waits_then_completes(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server(config=ServeConfig(
+                max_batch=2, max_pending=2, hard_limit=100))
+            xs = _inputs("sin", 4, seed=0)
+            results = await server.submit_many([(spec, xs)] * 6)
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        assert len(results) == 6
+        assert server._admission.pending == 0
+
+    def test_empty_inputs_rejected(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server()
+            try:
+                with pytest.raises(ConfigurationError):
+                    await server.submit_spec(spec, [])
+            finally:
+                await server.close()
+
+        _run(main())
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_wait=-1.0)
+        with pytest.raises(ConfigurationError):
+            Server(config=ServeConfig(max_pending=10, hard_limit=5))
+
+
+class TestClose:
+    def test_drain_completes_admitted_requests(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server(config=ServeConfig(max_wait=0.05))
+            task = asyncio.ensure_future(
+                server.submit_spec(spec, _inputs("sin", 8, seed=0)))
+            await asyncio.sleep(0)      # let it enqueue into the window
+            await server.close(drain=True)
+            return await task
+
+        result = _run(main())
+        assert result.n_elements == 8
+
+    def test_submit_after_close_raises(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            server = Server()
+            await server.close()
+            with pytest.raises(ServerClosedError):
+                await server.submit_spec(spec, _inputs("sin", 8, seed=0))
+
+        _run(main())
+
+    def test_nondrain_close_fails_queued_requests(self):
+        spec = normalize_request("sin", "llut_i")
+
+        class Never(Server):
+            async def _dispatch_batch(self, lane, xs):
+                await asyncio.sleep(3600)
+
+        async def main():
+            server = Never(config=ServeConfig(max_batch=1))
+            tasks = [asyncio.ensure_future(
+                server.submit_spec(spec, _inputs("sin", 8, seed=i)))
+                for i in range(3)]
+            for _ in range(10):
+                await asyncio.sleep(0)
+            await server.close(drain=False)
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = _run(main())
+        assert all(isinstance(r, ServerClosedError) for r in results)
+
+    def test_async_context_manager_drains(self):
+        spec = normalize_request("sin", "llut_i")
+
+        async def main():
+            async with Server() as server:
+                return await server.submit_spec(
+                    spec, _inputs("sin", 8, seed=0))
+
+        assert _run(main()).n_elements == 8
+
+
+class TestScatterBackOrdering:
+    def test_out_of_order_batch_completion_scatters_correctly(self):
+        """Lane A's batch completes after lane B's; results still match."""
+        spec_a = normalize_request("sin", "llut_i")
+        spec_b = normalize_request("tanh", "dlut")
+        xs_a = _inputs("sin", 20, seed=1)
+        xs_b = _inputs("tanh", 24, seed=2)
+
+        class Reordered(Server):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self.b_done = asyncio.Event()
+
+            async def _dispatch_batch(self, lane, xs):
+                if lane.label == "llut_i:sin":
+                    await self.b_done.wait()    # A finishes after B
+                result = await super()._dispatch_batch(lane, xs)
+                if lane.label == "dlut:tanh":
+                    self.b_done.set()
+                return result
+
+        async def main():
+            server = Reordered()
+            ra, rb = await asyncio.gather(
+                server.submit_spec(spec_a, xs_a),
+                server.submit_spec(spec_b, xs_b))
+            await server.close()
+            return ra, rb
+
+        ra, rb = _run(main())
+        assert ra.values.tobytes() == _direct("sin", "llut_i", xs_a).tobytes()
+        assert rb.values.tobytes() == _direct("tanh", "dlut", xs_b).tobytes()
+
+    def test_interleaved_submission_order_maps_slices_correctly(self):
+        """Alternating lanes: each result slice matches its own inputs."""
+        requests, expected = [], []
+        for j in range(6):
+            fn, meth = MIXED[j % 2]
+            spec = normalize_request(fn, meth)
+            xs = _inputs(fn, 7 + j, seed=50 + j)
+            requests.append((spec, xs))
+            expected.append(_direct(fn, meth, xs))
+
+        async def main():
+            server = Server()
+            results = await server.submit_many(requests)
+            await server.close()
+            return results
+
+        results = _run(main())
+        for r, want in zip(results, expected):
+            assert r.values.tobytes() == want.tobytes()
+
+
+class TestDispatchFailure:
+    def test_batch_failure_propagates_to_every_rider(self):
+        spec = normalize_request("sin", "llut_i")
+
+        class Broken(Server):
+            async def _dispatch_batch(self, lane, xs):
+                raise RuntimeError("kernel exploded")
+
+        async def main():
+            server = Broken()
+            results = await asyncio.gather(
+                *(server.submit_spec(spec, _inputs("sin", 8, seed=i))
+                  for i in range(3)),
+                return_exceptions=True)
+            await server.close()
+            return server, results
+
+        server, results = _run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        # Admission capacity fully released despite the failure.
+        assert server._admission.pending == 0
+
+    def test_server_survives_a_failed_batch(self):
+        spec = normalize_request("sin", "llut_i")
+
+        class FailOnce(Server):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self.failed = False
+
+            async def _dispatch_batch(self, lane, xs):
+                if not self.failed:
+                    self.failed = True
+                    raise RuntimeError("transient")
+                return await super()._dispatch_batch(lane, xs)
+
+        async def main():
+            server = FailOnce()
+            with pytest.raises(RuntimeError):
+                await server.submit_spec(spec, _inputs("sin", 8, seed=0))
+            ok = await server.submit_spec(spec, _inputs("sin", 8, seed=1))
+            await server.close()
+            return ok
+
+        assert _run(main()).n_elements == 8
+
+
+class TestShardedDispatch:
+    def test_sharded_serving_is_bit_identical(self):
+        spec = normalize_request("sin", "llut_i")
+        xs = _inputs("sin", 64, seed=9)
+
+        async def main():
+            server = Server(config=ServeConfig(shards=4))
+            r = await server.submit_spec(spec, xs)
+            await server.close()
+            return r
+
+        r = _run(main())
+        assert r.values.tobytes() == _direct("sin", "llut_i", xs).tobytes()

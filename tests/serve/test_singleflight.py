@@ -1,0 +1,145 @@
+"""SingleFlight: N concurrent identical calls run the builder exactly once."""
+
+import asyncio
+
+from repro.serve.singleflight import SingleFlight
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_burst_builds_once(self):
+        flight = SingleFlight()
+        builds = []
+
+        async def builder():
+            builds.append(1)
+            await asyncio.sleep(0)  # let the whole burst join
+            return "plan"
+
+        async def main():
+            return await asyncio.gather(
+                *(flight.run("k", builder) for _ in range(16)))
+
+        results = _run(main())
+        assert results == ["plan"] * 16
+        assert len(builds) == 1
+        assert flight.leaders == 1
+        assert flight.followers == 15
+        assert len(flight) == 0
+
+    def test_distinct_keys_fly_separately(self):
+        flight = SingleFlight()
+        builds = []
+
+        def builder_for(key):
+            async def builder():
+                builds.append(key)
+                await asyncio.sleep(0)
+                return key.upper()
+            return builder
+
+        async def main():
+            return await asyncio.gather(
+                flight.run("a", builder_for("a")),
+                flight.run("b", builder_for("b")),
+                flight.run("a", builder_for("a")),
+            )
+
+        assert _run(main()) == ["A", "B", "A"]
+        assert sorted(builds) == ["a", "b"]
+        assert flight.leaders == 2
+        assert flight.followers == 1
+
+    def test_later_call_runs_builder_again(self):
+        """Flights are per-burst, not a cache: landed keys rebuild."""
+        flight = SingleFlight()
+        builds = []
+
+        async def main():
+            def builder():
+                builds.append(1)
+                return len(builds)
+            first = await flight.run("k", builder)
+            second = await flight.run("k", builder)
+            return first, second
+
+        assert _run(main()) == (1, 2)
+        assert flight.leaders == 2
+        assert flight.followers == 0
+
+    def test_sync_builder_supported(self):
+        flight = SingleFlight()
+
+        async def main():
+            return await flight.run("k", lambda: 42)
+
+        assert _run(main()) == 42
+
+    def test_exception_shared_with_followers(self):
+        flight = SingleFlight()
+
+        async def builder():
+            await asyncio.sleep(0)
+            raise ValueError("table build failed")
+
+        async def main():
+            return await asyncio.gather(
+                *(flight.run("k", builder) for _ in range(4)),
+                return_exceptions=True)
+
+        results = _run(main())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert flight.leaders == 1
+        assert flight.followers == 3
+        assert len(flight) == 0  # failed flight removed: next call retries
+
+    def test_follower_cancellation_does_not_kill_the_flight(self):
+        flight = SingleFlight()
+
+        async def builder():
+            await asyncio.sleep(0.01)
+            return "plan"
+
+        async def main():
+            leader = asyncio.ensure_future(flight.run("k", builder))
+            await asyncio.sleep(0)
+            follower = asyncio.ensure_future(flight.run("k", builder))
+            await asyncio.sleep(0)
+            follower.cancel()
+            return await leader
+
+        assert _run(main()) == "plan"
+
+    def test_stats(self):
+        flight = SingleFlight()
+
+        async def main():
+            await flight.run("k", lambda: 1)
+
+        _run(main())
+        assert flight.stats() == {"leaders": 1, "followers": 0,
+                                  "in_flight": 0}
+
+
+class TestMetrics:
+    def test_leader_and_follower_counters_emitted(self):
+        from repro.obs.metrics import MetricsRegistry, collecting
+
+        flight = SingleFlight()
+
+        async def builder():
+            await asyncio.sleep(0)
+            return "plan"
+
+        async def main():
+            await asyncio.gather(
+                *(flight.run("k", builder) for _ in range(3)))
+
+        registry = MetricsRegistry()
+        with collecting(registry):
+            _run(main())
+        assert registry.value("serve.singleflight.leaders") == 1
+        assert registry.value("serve.singleflight.followers") == 2
