@@ -31,6 +31,7 @@ BENCH_SEEDS = {
     "pool_scaling": 7,
     "batch_vec": 7,
     "serve": 2026,
+    "topology": 7,
 }
 
 

@@ -68,6 +68,7 @@ from repro.core.lut.llut import (
     LLUTInterpolated,
     LLUTInterpolatedFixed,
 )
+from repro.core.lut.mlut import MLUT, MLUTInterpolated
 from repro.isa.counter import Tally
 from repro.obs import metrics as _metrics
 
@@ -108,6 +109,10 @@ def _mode_for(method) -> str:
         return "dlut"
     if t is DLUTInterpolated:
         return "dlut_i"
+    if t is MLUT:
+        return "mlut"
+    if t is MLUTInterpolated:
+        return "mlut_i"
     return "generic"
 
 
@@ -287,6 +292,10 @@ class VecEvaluator:
             return self._core_dlut(u)
         if mode == "dlut_i":
             return self._core_dlut_i(u)
+        if mode == "mlut":
+            return self._core_mlut(u)
+        if mode == "mlut_i":
+            return self._core_mlut_i(u)
         return self._core_generic(u)
 
     def _core_generic(self, u: np.ndarray):
@@ -457,6 +466,35 @@ class VecEvaluator:
         l1 = m._table[idx + 1]
         yc = (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)
         return yc, key
+
+    def _core_mlut(self, u: np.ndarray):
+        """Non-interpolated M-LUT: one scaled address, shared both ways.
+
+        The subtract + multiply that turns a reduced input into a table
+        coordinate is the whole address generation — the generic
+        composition runs it twice (once in ``core_eval_vec``, once in
+        ``core_path_vec``).
+        """
+        m = self.method
+        u = np.asarray(u, dtype=_F32)
+        v = u if m.p == 0 else (u - m.p).astype(_F32)
+        v = (v * m.k).astype(_F32)
+        idx = np.floor(v.astype(np.float64) + 0.5).astype(np.int64)
+        yc = m._table[np.clip(idx, 0, m.entries - 1)]
+        return yc, clamp_zone(fround_index_vec(v), m.entries - 1)
+
+    def _core_mlut_i(self, u: np.ndarray):
+        """Interpolated M-LUT: shared scaled address and floor weight."""
+        m = self.method
+        u = np.asarray(u, dtype=_F32)
+        v = u if m.p == 0 else (u - m.p).astype(_F32)
+        v = (v * m.k).astype(_F32)
+        idx = np.clip(np.floor(v).astype(np.int64), 0, m.entries - 2)
+        delta = (v - idx.astype(_F32)).astype(_F32)
+        l0 = m._table[idx]
+        l1 = m._table[idx + 1]
+        yc = (l0 + ((l1 - l0).astype(_F32) * delta).astype(_F32)).astype(_F32)
+        return yc, clamp_zone(ffloor_index_vec(v), m.entries - 2)
 
     def _core_llut_fx(self, u: np.ndarray):
         """Fixed-point L-LUT: one exact scaled conversion feeds both sides."""

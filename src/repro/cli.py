@@ -15,12 +15,16 @@ Usage::
     python -m repro trace FUNCTION METHOD [knob=value ...] [--json FILE]
     python -m repro bench [--emit FILE] [--quick] [--check-fig5]
     python -m repro plan FUNCTION METHOD [knob=value ...] [--n N --shards S]
+                        [--ranks R --dimms D]
     python -m repro run FUNCTION METHOD [--n N --repeat R --shards S --overlap]
                         [--workers W --start-method fork|spawn --timeout S]
+                        [--ranks R --dimms D --rank-aligned]
     python -m repro serve FUNCTION METHOD [--requests R --max-batch B
-                        --max-wait S]
+                        --max-wait S] [--ranks R --dimms D --rank-aligned]
     python -m repro loadgen [--profile mixed|fast --clients C --requests R
                         --seed N --verify]
+    python -m repro topology [--channels C --dimms D --ranks R
+                        --dpus-per-rank N]
 """
 
 from __future__ import annotations
@@ -261,15 +265,65 @@ def _parse_knobs(items) -> dict:
     return params
 
 
+def _topology_from_args(args):
+    """The hierarchy override from --channels/--dimms/--ranks, or None.
+
+    Unset dimensions fall back to the paper topology's shape; an override
+    models a clean machine (no defective DPUs), since the defect mask is
+    specific to the paper's physical system.
+    """
+    dims = (getattr(args, "channels", None), getattr(args, "dimms", None),
+            getattr(args, "ranks", None), getattr(args, "dpus_per_rank", None))
+    if all(d is None for d in dims):
+        return None
+    from repro.pim.topology import Topology
+    channels, dimms, ranks, dpus = dims
+    return Topology(
+        channels=channels if channels is not None else 2,
+        dimms_per_channel=dimms if dimms is not None else 10,
+        ranks_per_dimm=ranks if ranks is not None else 2,
+        dpus_per_rank=dpus if dpus is not None else 64,
+    )
+
+
+def _system_from_args(args):
+    """A PIMSystem honoring any topology overrides on the command line."""
+    from repro.pim.config import SystemConfig
+    from repro.pim.system import PIMSystem
+    topo = _topology_from_args(args)
+    if topo is None:
+        return PIMSystem()
+    return PIMSystem(SystemConfig(topology=topo))
+
+
+def _add_topology_args(p) -> None:
+    p.add_argument("--channels", type=int, default=None,
+                   help="memory channels (default: paper topology's 2)")
+    p.add_argument("--dimms", type=int, default=None,
+                   help="DIMMs per channel (default: 10)")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="ranks per DIMM (default: 2)")
+    p.add_argument("--dpus-per-rank", type=int, default=None,
+                   help="DPUs per rank (default: 64)")
+
+
+def _cmd_topology(args) -> int:
+    from repro.pim.topology import PAPER_TOPOLOGY
+    topo = _topology_from_args(args)
+    if topo is None:
+        topo = PAPER_TOPOLOGY
+    print(topo.describe())
+    return 0
+
+
 def _cmd_plan(args) -> int:
     from repro.api import make_method
-    from repro.pim.system import PIMSystem
     from repro.plan.cache import PlanCache
 
     m = make_method(args.function, args.method, assume_in_range=False,
                     placement=args.placement, **_parse_knobs(args.knobs))
     cache = PlanCache()
-    plan = cache.plan(PIMSystem(), m, tasklets=args.tasklets,
+    plan = cache.plan(_system_from_args(args), m, tasklets=args.tasklets,
                       vec=not args.no_vec)
     print(plan.describe(n_elements=args.n, shards=args.shards))
     return 0
@@ -279,7 +333,6 @@ def _cmd_run(args) -> int:
     from repro.analysis.report import format_table
     from repro.api import make_method
     from repro.core.functions.registry import get_function
-    from repro.pim.system import PIMSystem
     from repro.plan.cache import PlanCache
     from repro.plan.dispatch import execute_sharded
 
@@ -288,7 +341,7 @@ def _cmd_run(args) -> int:
     lo, hi = get_function(args.function).bench_domain
     xs = np.random.default_rng(0).uniform(lo, hi, args.n).astype(np.float32)
 
-    system = PIMSystem()
+    system = _system_from_args(args)
     cache = PlanCache()
     plan = cache.plan(system, m, tasklets=args.tasklets,
                       vec=not args.no_vec)
@@ -305,8 +358,10 @@ def _cmd_run(args) -> int:
             if args.shards > 1:
                 r = execute_sharded(plan, xs, n_shards=args.shards,
                                     overlap=args.overlap, pool=pool,
-                                    timeout=args.timeout)
+                                    timeout=args.timeout,
+                                    rank_aligned=args.rank_aligned)
                 extra = (f"{r.n_shards} shards"
+                         + (" rank-aligned" if args.rank_aligned else "")
                          + (f" x {args.workers} workers" if pool else "")
                          + (f", saved {r.overlap_saving_seconds * 1e3:.3f} ms"
                             if args.overlap else ""))
@@ -345,8 +400,12 @@ def _cmd_serve(args) -> int:
     ]
 
     async def drive():
-        server = Server(config=ServeConfig(
-            max_batch=args.max_batch, max_wait=args.max_wait))
+        from repro.pim.host import PIMRuntime
+        from repro.plan.session import PlanSession
+        session = PlanSession(PIMRuntime(system=_system_from_args(args)))
+        server = Server(session=session, config=ServeConfig(
+            max_batch=args.max_batch, max_wait=args.max_wait,
+            shards=args.shards, rank_aligned=args.rank_aligned))
         results = await server.submit_many(requests)
         await server.close()
         return server, results
@@ -527,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-vec", action="store_true",
                    help="compile without the array-compiled fused "
                         "evaluator (bit-identical, traced engine only)")
+    _add_topology_args(p)
     p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("run",
@@ -555,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-vec", action="store_true",
                    help="launch through the traced engine only "
                         "(bit-identical; disables the fused evaluator)")
+    p.add_argument("--rank-aligned", action="store_true",
+                   help="split shards along rank boundaries (no shard "
+                        "straddles a rank of the topology)")
+    _add_topology_args(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("serve",
@@ -573,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-wait", type=float, default=0.0,
                    help="micro-batching window in seconds")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="shards per dispatched batch")
+    p.add_argument("--rank-aligned", action="store_true",
+                   help="split sharded batches along rank boundaries")
+    _add_topology_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("loadgen",
@@ -595,6 +664,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-evaluate served slices directly and fail on "
                         "any bitwise mismatch")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser("topology",
+                       help="describe the modeled channel/DIMM/rank "
+                            "hierarchy (paper system by default)")
+    _add_topology_args(p)
+    p.set_defaults(func=_cmd_topology)
 
     p = sub.add_parser("listing",
                        help="pseudo-assembly listing of one evaluation")

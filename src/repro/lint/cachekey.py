@@ -78,12 +78,13 @@ __all__ = [
 
 #: ExecutionPlan attribute -> PlanKey field(s) that represent it.  ``method``
 #: folds into the table signature *and* the placement; ``system`` carries
-#: both the system config and the op-cost table.
+#: the system config, the op-cost table, and the config's channel/rank
+#: topology signature.
 DEFAULT_COVERAGE: Dict[str, Tuple[str, ...]] = {
     "method": ("table_key", "placement"),
     "kernel": ("table_key",),
     "placement": ("placement",),
-    "system": ("system", "costs"),
+    "system": ("system", "costs", "topology"),
     "tasklets": ("tasklets",),
     "sample_size": ("sample_size",),
     "transfers": ("transfers",),

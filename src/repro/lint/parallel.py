@@ -186,6 +186,7 @@ def default_targets() -> List[Tuple[str, object]]:
     from repro.api import make_method
     from repro.pim.config import SystemConfig
     from repro.pim.system import PIMSystem
+    from repro.pim.topology import PAPER_TOPOLOGY, Topology
     from repro.plan.dispatch import (execute_sharded, shard_split,
                                      spawn_shard_rngs)
     from repro.plan.plan import TransferSchedule, compile_plan
@@ -193,9 +194,18 @@ def default_targets() -> List[Tuple[str, object]]:
 
     system = PIMSystem(SystemConfig(n_dpus=8))
     xs = np.linspace(0.1, 0.9, 200, dtype=np.float32)
+    # Topology rides in every shipped SystemConfig (plan.system.config and
+    # each ShardTask's dpu_range-derived sub-config), so it is a wire
+    # artifact in its own right — certify the paper instance, a sliced
+    # view (the shape workers actually reconstruct), and a custom one.
     targets: List[Tuple[str, object]] = [
         ("transfer_schedule", TransferSchedule()),
         ("shard_split", shard_split(200, 8, 2)),
+        ("topology:paper", PAPER_TOPOLOGY),
+        ("topology:subrange", PAPER_TOPOLOGY.subrange(64, 192)),
+        ("topology:custom", Topology(channels=2, dimms_per_channel=2,
+                                     ranks_per_dimm=2, dpus_per_rank=4,
+                                     defective=(3, 17))),
     ]
     for func, meth, knobs in _REPRESENTATIVE:
         m = make_method(func, meth, assume_in_range=False, **knobs)
@@ -216,6 +226,15 @@ def default_targets() -> List[Tuple[str, object]]:
             batch=True, capture_trace=False, capture_metrics=False,
         )
         targets.append(("pool_shard_task", task))
+        targets.append(("pool_shard_task_aligned",
+                        ShardTask(
+                            shipment=shipment, index=1, n_dpus=4,
+                            inputs=xs[100:], virtual_n=None, imbalance=None,
+                            rng=spawn_shard_rngs(
+                                np.random.default_rng(3), 2)[1],
+                            batch=True, capture_trace=False,
+                            capture_metrics=False, dpu_range=(4, 8),
+                        )))
         targets.append(("pool_shipment", shipment))
     finally:
         unlink_shipment(shipment)

@@ -42,10 +42,14 @@ COUNTERS: Dict[str, str] = {
     # sharded dispatch
     "dispatch.runs": "execute_sharded invocations",
     "dispatch.shards": "shard launches across all dispatches",
+    "dispatch.rank_aligned": "dispatches split along rank boundaries",
     # multiprocess pool dispatch
     "dispatch.pool.dispatches": "pooled execute_sharded invocations",
     "dispatch.pool.tasks": "shard tasks run on pool workers",
     "dispatch.pool.shipments": "plan payloads shipped to worker pools",
+    "dispatch.pool.pinned": "shard tasks run on CPU-pinned workers",
+    # topology model
+    "topology.subranges": "topology slices carved for shard sub-systems",
     # compiled plans
     "plan.compiles": "ExecutionPlans compiled",
     "plan.executions": "plan.execute launches",
@@ -108,6 +112,8 @@ GAUGES: Dict[str, str] = {
     "serve.latency_p99_seconds": "load-generator p99 request latency",
     "dpu.dma_hidden_fraction":
         "fraction of DMA time hidden behind compute",
+    "topology.transfer_rank_parallelism":
+        "rank fan-out applied to an unbalanced transfer's serialization",
     "tablecache.bytes": "resident bytes in the table cache",
 }
 

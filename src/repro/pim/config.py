@@ -4,13 +4,25 @@ Defaults mirror the paper's evaluation platform (Section 4.1): DPUs at
 350 MHz with 64 KB of scratchpad (WRAM) and a 64 MB DRAM bank (MRAM) each,
 and a 20-DIMM system totalling 2545 usable PIM cores.  The host is a
 2-socket, 32-core Xeon.
+
+The system's core count is derived from a hierarchical
+:class:`~repro.pim.topology.Topology` (channels -> DIMMs -> ranks ->
+DPUs): the default reproduces the paper's 2545-usable-of-2560 machine,
+while a bare ``SystemConfig(n_dpus=...)`` still works by synthesizing a
+flat single-rank topology of that size.  Passing *both* with
+``n_dpus`` smaller than the topology's usable count slices the topology
+down to its first ``n_dpus`` usable cores — this is what keeps
+``dataclasses.replace(config, n_dpus=k)`` (the shard sub-system idiom)
+working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.pim.topology import PAPER_TOPOLOGY, Topology
 
 __all__ = ["DPUConfig", "SystemConfig", "UPMEM_DPU", "UPMEM_SYSTEM"]
 
@@ -47,9 +59,21 @@ class DPUConfig:
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Parameters of the full PIM system plus its host links."""
+    """Parameters of the full PIM system plus its host links.
 
-    n_dpus: int = 2545
+    ``n_dpus`` and ``topology`` reconcile in ``__post_init__``:
+
+    * neither given — the paper topology (2545 usable of 2560);
+    * only ``n_dpus`` — a synthesized flat single-rank topology;
+    * only ``topology`` — ``n_dpus`` derived as its usable count;
+    * both, with ``n_dpus`` below the usable count — the topology's
+      first ``n_dpus`` usable cores (:meth:`Topology.take`), preserving
+      the rank structure of the slice.
+
+    After construction ``n_dpus == topology.n_dpus`` always holds.
+    """
+
+    n_dpus: Optional[int] = None
     dpu: DPUConfig = field(default_factory=DPUConfig)
     #: Aggregate host->PIM copy bandwidth with parallel (same-size) transfers
     #: across all MRAM banks, bytes/second.
@@ -62,30 +86,72 @@ class SystemConfig:
     single_bank_bw: float = 600e6
     #: Fixed per-launch overhead on the host (kernel launch, driver), seconds.
     launch_overhead_s: float = 40e-6
+    #: Hierarchical channel/DIMM/rank structure the flat index space maps
+    #: onto; ``None`` resolves against ``n_dpus`` as documented above.
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
-        if self.n_dpus < 1:
-            raise ConfigurationError("system needs at least one PIM core")
+        topo = self.topology
+        if topo is None:
+            if self.n_dpus is None:
+                topo = PAPER_TOPOLOGY
+            else:
+                if self.n_dpus < 1:
+                    raise ConfigurationError(
+                        "system needs at least one PIM core")
+                topo = Topology.single_rank(self.n_dpus)
+        elif self.n_dpus is not None and self.n_dpus != topo.n_dpus:
+            if self.n_dpus < 1:
+                raise ConfigurationError("system needs at least one PIM core")
+            if self.n_dpus > topo.n_dpus:
+                raise ConfigurationError(
+                    f"n_dpus={self.n_dpus} exceeds the topology's "
+                    f"{topo.n_dpus} usable DPUs")
+            topo = topo.take(self.n_dpus)
+        object.__setattr__(self, "topology", topo)
+        object.__setattr__(self, "n_dpus", topo.n_dpus)
         if self.host_to_pim_bw <= 0 or self.pim_to_host_bw <= 0:
             raise ConfigurationError("transfer bandwidths must be positive")
 
+    def subrange(self, start: int, stop: int) -> "SystemConfig":
+        """This config restricted to usable DPUs ``[start, stop)``.
+
+        The rank-aligned shard dispatcher builds shard sub-systems with
+        this so each shard sees its slice's true rank structure (and
+        therefore its rank-parallel transfer times) instead of a flat
+        synthesized rank.
+        """
+        sub = self.topology.subrange(start, stop)
+        return replace(self, n_dpus=sub.n_dpus, topology=sub)
+
     def host_to_pim_seconds(self, total_bytes: int,
-                            balanced: bool = True) -> float:
+                            balanced: bool = True,
+                            ranks: Optional[int] = None) -> float:
         """Time to scatter ``total_bytes`` from host to MRAM banks.
 
         Parallel transfers need equal buffer sizes across banks; unbalanced
         scatters fall back to serial single-bank copies (Section 2.1).
+        ``ranks`` (rank-aware mode) bounds that serialization to the
+        slowest *rank's* share instead of the whole system: distinct
+        ranks transfer concurrently, so the serial time divides by the
+        rank fan-out.  ``None`` keeps the legacy whole-system serial
+        model.
         """
         if balanced:
             return total_bytes / self.host_to_pim_bw
-        return total_bytes / self.single_bank_bw
+        if ranks is None or ranks <= 1:
+            return total_bytes / self.single_bank_bw
+        return (total_bytes / ranks) / self.single_bank_bw
 
     def pim_to_host_seconds(self, total_bytes: int,
-                            balanced: bool = True) -> float:
+                            balanced: bool = True,
+                            ranks: Optional[int] = None) -> float:
         """Time to gather ``total_bytes`` from MRAM banks back to the host."""
         if balanced:
             return total_bytes / self.pim_to_host_bw
-        return total_bytes / self.single_bank_bw
+        if ranks is None or ranks <= 1:
+            return total_bytes / self.single_bank_bw
+        return (total_bytes / ranks) / self.single_bank_bw
 
 
 #: The paper's DPU (350 MHz, 64 KB WRAM, 64 MB MRAM).

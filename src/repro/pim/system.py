@@ -158,6 +158,8 @@ class PIMSystem:
         pool=None,
         start_method: Optional[str] = None,
         timeout: Optional[float] = None,
+        rank_aligned: bool = False,
+        rank_parallel_transfers: bool = False,
     ):
         """Run ``kernel`` split across ``shards`` disjoint DPU groups.
 
@@ -168,6 +170,9 @@ class PIMSystem:
         as ``pool``) runs the shards on a multiprocess pool with
         bit-identical results; ``start_method`` picks the worker start
         method and ``timeout`` bounds the dispatch in wall seconds.
+        ``rank_aligned`` splits along the system topology's rank
+        boundaries, and ``rank_parallel_transfers`` lets unbalanced
+        scatters/gathers serialize per rank rather than per system.
         Returns a :class:`~repro.plan.dispatch.ShardedRunResult`.
         """
         from repro.plan.dispatch import execute_sharded
@@ -182,11 +187,12 @@ class PIMSystem:
                 bytes_out_per_element=bytes_out_per_element,
                 include_transfers=include_transfers,
                 balanced=balanced_transfers,
+                rank_parallel=rank_parallel_transfers,
             ),
         )
         return execute_sharded(
             plan, inputs, n_shards=shards, overlap=overlap,
             virtual_n=virtual_n, imbalance=imbalance, rng=rng, batch=batch,
             workers=workers, pool=pool, start_method=start_method,
-            timeout=timeout,
+            timeout=timeout, rank_aligned=rank_aligned,
         )

@@ -133,6 +133,13 @@ class PlanKey:
     #: describe, fallback path), so a vec-disabled lookup must never be
     #: served a vec-enabled plan.
     vec: bool = True
+    #: Compact signature of the system's channel/DIMM/rank hierarchy
+    #: (:meth:`Topology.signature`).  The ``system`` field already embeds
+    #: the full topology by value; this surfaces it as its own covered
+    #: component so serve-side request keys and coalescing stay aligned
+    #: with plan-cache identity when only the hierarchy differs (same
+    #: ``n_dpus``, different rank structure changes unbalanced timings).
+    topology: str = ""
 
 
 def key_for(system: PIMSystem, method: Method, *,
@@ -156,6 +163,7 @@ def key_for(system: PIMSystem, method: Method, *,
         else TransferSchedule(),
         imbalance=imbalance,
         vec=vec,
+        topology=system.config.topology.signature(),
     )
 
 

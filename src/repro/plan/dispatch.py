@@ -66,12 +66,20 @@ def spawn_shard_rngs(
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
-def shard_split(n_elements: int, n_dpus: int,
-                n_shards: int) -> List[Tuple[int, int]]:
+def shard_split(n_elements: int, n_dpus: int, n_shards: int, *,
+                topology=None) -> List[Tuple[int, int]]:
     """Even (elements, dpus) split of a launch over ``n_shards`` groups.
 
     Remainders go to the lowest-indexed shards, mirroring the SPMD
     round-up in :meth:`PIMSystem.elements_per_dpu`.
+
+    With ``topology`` (a :class:`~repro.pim.topology.Topology` covering
+    exactly ``n_dpus`` usable DPUs) the split is **rank-aligned**: shard
+    boundaries come from :meth:`Topology.split_ranks`, so no shard's DPU
+    group ever straddles a rank, and element counts follow each group's
+    DPU share proportionally.  Rank-aligned groups are what let a shard's
+    unbalanced transfers serialize per rank and the pool pin shards to
+    their channel's workers.
     """
     if n_shards < 1:
         raise SimulationError("need at least one shard")
@@ -83,6 +91,27 @@ def shard_split(n_elements: int, n_dpus: int,
         raise SimulationError(
             f"{n_shards} shards over {n_elements} elements: every shard "
             "needs at least one element")
+    if topology is not None:
+        if topology.n_dpus != n_dpus:
+            raise SimulationError(
+                f"topology covers {topology.n_dpus} usable DPUs, "
+                f"expected {n_dpus}")
+        spans = topology.split_ranks(n_shards)
+        dpus = [stop - start for start, stop in spans]
+        # Elements proportional to each group's DPU share, by cumulative
+        # boundaries so the counts always sum exactly to n_elements.
+        bounds, acc = [0], 0
+        for d in dpus:
+            acc += d
+            bounds.append(n_elements * acc // n_dpus)
+        counts = [bounds[i + 1] - bounds[i] for i in range(n_shards)]
+        if min(counts) == 0:
+            # Degenerate proportionality (tiny inputs over skewed rank
+            # groups): fall back to the even element split, keeping the
+            # rank-aligned DPU groups.
+            eq, er = divmod(n_elements, n_shards)
+            counts = [eq + (1 if i < er else 0) for i in range(n_shards)]
+        return list(zip(counts, dpus))
     eq, er = divmod(n_elements, n_shards)
     dq, dr = divmod(n_dpus, n_shards)
     return [(eq + (1 if i < er else 0), dq + (1 if i < dr else 0))
@@ -198,11 +227,15 @@ def _shard_inputs(inputs: np.ndarray, counts: Sequence[int],
 
 
 def _pooled_shard_runs(plan, split, pieces, imbalances, shard_rngs, *,
-                       batch, workers, pool, start_method, timeout):
+                       batch, workers, pool, start_method, timeout,
+                       dpu_ranges=None, channels=None):
     """Run every shard on a worker pool; graft traces, merge metrics.
 
     Returns ``(handles, runs)`` in shard order — the same pair the inline
     loop produces, so timeline assembly downstream is path-agnostic.
+    ``dpu_ranges``/``channels`` (rank-aligned dispatch only) give each
+    shard its usable-DPU slice and home channel, which the pool uses for
+    topology-faithful sub-systems and channel-affine worker routing.
     """
     from repro.obs.metrics import active_metrics
     from repro.obs.tracer import active_tracer
@@ -225,6 +258,8 @@ def _pooled_shard_runs(plan, split, pieces, imbalances, shard_rngs, *,
             capture_trace=tracer is not None,
             capture_metrics=registry is not None,
             timeout=timeout,
+            dpu_ranges=dpu_ranges,
+            channels=channels,
         )
     finally:
         if owned:
@@ -232,8 +267,13 @@ def _pooled_shard_runs(plan, split, pieces, imbalances, shard_rngs, *,
     handles, runs = [], []
     for i, out in enumerate(outcomes):
         n_i, dpus_i = split[i]
+        attrs = {}
+        if channels is not None:
+            attrs["channel"] = channels[i]
+        if getattr(shard_pool, "pin", False):
+            attrs["pinned"] = True
         with _span("shard", index=i, n_elements=n_i, n_dpus=dpus_i,
-                   worker=out.worker_pid) as ssp:
+                   worker=out.worker_pid, **attrs) as ssp:
             if tracer is not None:
                 for subtree in out.spans:
                     tracer.graft(subtree)
@@ -261,6 +301,7 @@ def execute_sharded(
     pool=None,
     start_method: Optional[str] = None,
     timeout: Optional[float] = None,
+    rank_aligned: bool = False,
 ) -> ShardedRunResult:
     """Dispatch ``plan`` over ``n_shards`` disjoint DPU groups.
 
@@ -283,13 +324,23 @@ def execute_sharded(
     ships the plan only once across dispatches.  Either way the returned
     :class:`ShardedRunResult`, the ``dispatch.*`` spans and metrics, and
     every phase number reconcile bit for bit with the inline path.
+
+    ``rank_aligned=True`` splits along the system topology's rank
+    boundaries instead of evenly: no shard's DPU group straddles a rank,
+    each shard's sub-system keeps its slice's true rank structure (so
+    rank-parallel unbalanced transfers price correctly per shard), and
+    pooled dispatch routes each shard to a worker by its home channel.
     """
     inputs = np.asarray(inputs, dtype=_F32)
     n = int(virtual_n if virtual_n is not None else inputs.shape[0])
     if n == 0 or inputs.shape[0] == 0:
         raise SimulationError("cannot dispatch over empty input")
     system = plan.system
-    split = shard_split(n, system.config.n_dpus, n_shards)
+    topo = system.config.topology if rank_aligned else None
+    split = shard_split(n, system.config.n_dpus, n_shards, topology=topo)
+    dpu_ranges = shard_ranges(split) if rank_aligned else None
+    channels = [topo.channel_of_range(lo, hi) for lo, hi in dpu_ranges] \
+        if rank_aligned else None
     if imbalance is None or isinstance(imbalance, (int, float)):
         imbalances = [imbalance] * n_shards
     else:
@@ -307,21 +358,30 @@ def execute_sharded(
     shards: List[ShardResult] = []
     with _span("dispatch.run", n_shards=n_shards, overlap=overlap,
                n_elements=n) as dsp:
+        if rank_aligned:
+            dsp.set(rank_aligned=True)
         if pooled:
             dsp.set(pooled=True)
             handles, runs = _pooled_shard_runs(
                 plan, split, pieces, imbalances, shard_rngs, batch=batch,
                 workers=workers, pool=pool, start_method=start_method,
-                timeout=timeout,
+                timeout=timeout, dpu_ranges=dpu_ranges, channels=channels,
             )
         else:
             handles, runs = [], []
             for i, ((n_i, dpus_i), (xs_i, vn_i)) in enumerate(
                     zip(split, pieces)):
-                sub = PIMSystem(replace(system.config, n_dpus=dpus_i),
-                                system.costs)
+                if rank_aligned:
+                    lo, hi = dpu_ranges[i]
+                    sub = PIMSystem(system.config.subrange(lo, hi),
+                                    system.costs)
+                    attrs = {"channel": channels[i]}
+                else:
+                    sub = PIMSystem(replace(system.config, n_dpus=dpus_i),
+                                    system.costs)
+                    attrs = {}
                 with _span("shard", index=i, n_elements=n_i,
-                           n_dpus=dpus_i) as ssp:
+                           n_dpus=dpus_i, **attrs) as ssp:
                     r = plan.for_system(sub).execute(
                         xs_i, virtual_n=vn_i, rng=shard_rngs[i],
                         batch=batch, imbalance=imbalances[i],
@@ -376,6 +436,8 @@ def execute_sharded(
                 serial_seconds=result.serial_seconds)
     _metrics.inc("dispatch.runs")
     _metrics.inc("dispatch.shards", n_shards)
+    if rank_aligned:
+        _metrics.inc("dispatch.rank_aligned")
     if pooled:
         _metrics.inc("dispatch.pool.dispatches")
     if overlap:

@@ -57,27 +57,49 @@ class TransferSchedule:
     ``include_transfers=False`` models the in-PIM-pipeline deployment of
     Figure 1(c) where operands already live in the banks; ``balanced=False``
     models unequal per-bank buffers, which serialize at the single-bank
-    bandwidth (Section 2.1 of the paper).
+    bandwidth (Section 2.1 of the paper).  ``rank_parallel=True`` relaxes
+    that serialization to rank granularity: unbalanced copies to distinct
+    ranks proceed concurrently, so the serial time divides by the rank
+    fan-out of the DPUs actually used.  It is opt-in — the default keeps
+    the legacy whole-system serial model bit-identical.
     """
 
     bytes_in_per_element: int = 4
     bytes_out_per_element: int = 4
     include_transfers: bool = True
     balanced: bool = True
+    rank_parallel: bool = False
 
-    def scatter_seconds(self, config, n_elements: int) -> float:
+    def transfer_ranks(self, config, n_dpus_used: int) -> Optional[int]:
+        """Rank fan-out for this schedule's unbalanced copies, or None.
+
+        None means the legacy whole-system serial model applies (balanced
+        schedules and transfer-free plans never serialize, so rank
+        awareness is moot for them).
+        """
+        if not self.rank_parallel or self.balanced \
+                or not self.include_transfers:
+            return None
+        n_used = max(1, min(int(n_dpus_used), config.n_dpus))
+        return config.topology.ranks_in_range(0, n_used)
+
+    def scatter_seconds(self, config, n_elements: int,
+                        ranks: Optional[int] = None) -> float:
         """Host->PIM time for ``n_elements`` under this schedule."""
         if not self.include_transfers:
             return 0.0
         return config.host_to_pim_seconds(
-            n_elements * self.bytes_in_per_element, balanced=self.balanced)
+            n_elements * self.bytes_in_per_element, balanced=self.balanced,
+            ranks=ranks)
 
-    def gather_seconds(self, config, n_elements: int) -> float:
+    def gather_seconds(self, config, n_elements: int,
+                       ranks: Optional[int] = None) -> float:
         """PIM->host time for ``n_elements`` under this schedule."""
         if not self.include_transfers:
             return 0.0
         return config.pim_to_host_seconds(
-            n_elements * self.bytes_out_per_element, balanced=self.balanced)
+            n_elements * self.bytes_out_per_element, balanced=self.balanced,
+            ranks=ranks)
 
 
 class ExecutionPlan:
@@ -271,11 +293,14 @@ class ExecutionPlan:
         sched = self.transfers
         per_core = system.elements_per_dpu(n)
         n_used = min(config.n_dpus, -(-n // per_core))
+        ranks = sched.transfer_ranks(config, n_used)
+        if ranks is not None:
+            _metrics.observe("topology.transfer_rank_parallelism", ranks)
 
         with _span(span_name, n_elements=n, tasklets=self.tasklets,
                    n_dpus_used=n_used) as run_sp:
             with _span("host_to_pim") as h2p_sp:
-                h2p = sched.scatter_seconds(config, n)
+                h2p = sched.scatter_seconds(config, n, ranks=ranks)
                 h2p_sp.set(sim_seconds=h2p,
                            bytes=n * sched.bytes_in_per_element
                            if sched.include_transfers else 0)
@@ -304,7 +329,7 @@ class ExecutionPlan:
                          slots=core_result.total_tally.slots)
 
             with _span("pim_to_host") as p2h_sp:
-                p2h = sched.gather_seconds(config, n)
+                p2h = sched.gather_seconds(config, n, ranks=ranks)
                 p2h_sp.set(sim_seconds=p2h,
                            bytes=n * sched.bytes_out_per_element
                            if sched.include_transfers else 0)
@@ -358,6 +383,9 @@ class ExecutionPlan:
              else self.placement.upper()),
             ("table bytes", self.table_bytes),
             ("system", f"{cfg.n_dpus} DPUs x {self.tasklets} tasklets"),
+            ("topology", cfg.topology.signature()
+             + (" (rank-parallel transfers)" if sched.rank_parallel
+                else "")),
             ("sample size", self.sample_size),
             ("imbalance", self.imbalance),
             ("transfers",

@@ -245,6 +245,11 @@ class ShardTask:
     batch: bool
     capture_trace: bool
     capture_metrics: bool
+    #: Usable-DPU slice this shard owns (rank-aligned dispatch only).
+    #: The worker carves its sub-system with
+    #: :meth:`SystemConfig.subrange` so the slice keeps its true rank
+    #: structure; ``None`` falls back to a flat ``n_dpus`` sub-system.
+    dpu_range: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -274,8 +279,11 @@ def _run_shard_task(task: ShardTask):
 
     try:
         plan = load_shipment(task.shipment)
-        sub = PIMSystem(replace(plan.system.config, n_dpus=task.n_dpus),
-                        plan.system.costs)
+        if task.dpu_range is not None:
+            cfg = plan.system.config.subrange(*task.dpu_range)
+        else:
+            cfg = replace(plan.system.config, n_dpus=task.n_dpus)
+        sub = PIMSystem(cfg, plan.system.costs)
         tracer = Tracer() if task.capture_trace else None
         registry = MetricsRegistry() if task.capture_metrics else None
         t0 = time.perf_counter()
@@ -311,6 +319,22 @@ class _nullcontext:
         return None
 
 
+def _pin_worker(cpus: Tuple[int, ...]) -> None:
+    """Worker initializer: restrict this process to its group's CPUs.
+
+    Models NUMA placement — each channel group's workers stay on one CPU
+    block so the host-side halves of that channel's transfers keep their
+    cache/memory locality.  Best-effort: platforms without
+    ``sched_setaffinity`` (or with a shrunken cpuset) run unpinned.
+    """
+    if not cpus:
+        return
+    try:
+        os.sched_setaffinity(0, cpus)
+    except (AttributeError, OSError):  # pragma: no cover - platform-dependent
+        pass
+
+
 # ----------------------------------------------------------------------
 # Parent side: the pool
 
@@ -328,30 +352,73 @@ class ShardPool:
     ``timeout`` is the per-dispatch default deadline in wall seconds —
     exceeded deadlines raise :class:`~repro.errors.PoolTimeoutError`.
 
+    Passing ``topology`` makes the pool NUMA-aware: workers default to
+    one per memory channel, they are partitioned into one executor group
+    per channel, and rank-aligned dispatches route each shard to its home
+    channel's group (``shard -> worker affinity by channel``).  ``pin``
+    additionally restricts each group's workers to a contiguous block of
+    the host's CPUs (``sched_setaffinity``), modeling socket locality.
+    Without ``topology`` the pool is a single flat group, exactly as
+    before.
+
     A dispatch error closes the pool: worker state is unknown after a
     crash, and leaving segments mapped would leak them.
     """
 
-    def __init__(self, workers: int, start_method: Optional[str] = None,
-                 timeout: Optional[float] = None):
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 timeout: Optional[float] = None, *,
+                 topology=None, pin: bool = False):
+        if workers is None:
+            if topology is None:
+                raise ConfigurationError(
+                    "ShardPool needs workers >= 1 (or a topology to "
+                    "default one worker per channel)")
+            workers = topology.channels
         if workers < 1:
             raise ConfigurationError("ShardPool needs workers >= 1")
         self.workers = workers
         self.start_method = start_method
         self.timeout = timeout
-        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=get_context(start_method) if start_method else None,
-        )
+        self.topology = topology
+        self.pin = bool(pin)
+        n_groups = 1 if topology is None else min(workers, topology.channels)
+        ctx = get_context(start_method) if start_method else None
+        cpus = self._host_cpus() if self.pin else ()
+        wq, wr = divmod(workers, n_groups)
+        self._executors: List[ProcessPoolExecutor] = []
+        for g in range(n_groups):
+            if self.pin and cpus:
+                # Contiguous CPU blocks per group, remainders to the low
+                # groups — the same convention as the shard splitter.
+                cq, cr = divmod(len(cpus), n_groups)
+                lo = g * cq + min(g, cr)
+                block = tuple(cpus[lo:lo + cq + (1 if g < cr else 0)])
+                init, initargs = _pin_worker, (block,)
+            else:
+                init, initargs = None, ()
+            self._executors.append(ProcessPoolExecutor(
+                max_workers=wq + (1 if g < wr else 0),
+                mp_context=ctx,
+                initializer=init, initargs=initargs,
+            ))
         self._shipments: "weakref.WeakKeyDictionary[Any, PlanShipment]" \
             = weakref.WeakKeyDictionary()
         self._owned: List[PlanShipment] = []
+
+    @staticmethod
+    def _host_cpus() -> Tuple[int, ...]:
+        """CPUs available to this process, in stable sorted order."""
+        try:
+            return tuple(sorted(os.sched_getaffinity(0)))
+        except (AttributeError, OSError):  # pragma: no cover
+            return tuple(range(os.cpu_count() or 1))
 
     # ------------------------------------------------------------------
 
     @property
     def closed(self) -> bool:
-        return self._executor is None
+        return not self._executors
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -366,8 +433,8 @@ class ShardPool:
         outright instead of letting them drain: a hung or crashed worker
         must not outlive the dispatch that abandoned it.
         """
-        executor, self._executor = self._executor, None
-        if executor is not None:
+        executors, self._executors = self._executors, []
+        for executor in executors:
             if kill:
                 procs = list(getattr(executor, "_processes", {}).values())
                 executor.shutdown(wait=False, cancel_futures=True)
@@ -404,6 +471,8 @@ class ShardPool:
         capture_trace: bool = False,
         capture_metrics: bool = False,
         timeout: Optional[float] = None,
+        dpu_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        channels: Optional[Sequence[int]] = None,
     ) -> Tuple[List[ShardOutcome], float]:
         """Execute every (n_dpus, inputs, virtual_n, imbalance, rng) spec.
 
@@ -411,8 +480,13 @@ class ShardPool:
         seconds of the whole fan-out (for the utilization gauge).  Raises
         :class:`PoolError` on any worker failure after cancelling the
         rest and closing the pool — no partial results ever escape.
+
+        ``dpu_ranges`` gives each shard its usable-DPU slice (workers
+        build topology-faithful sub-systems from it); ``channels`` gives
+        each shard's home channel, routing it to that channel's executor
+        group on a topology-aware pool.
         """
-        if self._executor is None:
+        if not self._executors:
             raise PoolError("ShardPool is closed")
         deadline = timeout if timeout is not None else self.timeout
         shipment = self.ship(plan)
@@ -421,14 +495,20 @@ class ShardPool:
                       inputs=inputs, virtual_n=virtual_n,
                       imbalance=imbalance, rng=rng, batch=batch,
                       capture_trace=capture_trace,
-                      capture_metrics=capture_metrics)
+                      capture_metrics=capture_metrics,
+                      dpu_range=dpu_ranges[i] if dpu_ranges is not None
+                      else None)
             for i, (n_dpus, inputs, virtual_n, imbalance, rng)
             in enumerate(specs)
         ]
+        n_groups = len(self._executors)
         t0 = time.perf_counter()
         try:
             futs: List[Future] = [
-                self._executor.submit(_run_shard_task, task)
+                self._executors[
+                    (channels[task.index] if channels is not None
+                     else task.index) % n_groups
+                ].submit(_run_shard_task, task)
                 for task in tasks
             ]
         except BrokenExecutor as exc:
@@ -465,6 +545,8 @@ class ShardPool:
             outcomes.append(got)
         wall = time.perf_counter() - t0
         _metrics.inc("dispatch.pool.tasks", len(tasks))
+        if self.pin:
+            _metrics.inc("dispatch.pool.pinned", len(tasks))
         busy = sum(o.busy_seconds for o in outcomes)
         if wall > 0.0:
             _metrics.observe("dispatch.pool.worker_utilization",

@@ -125,6 +125,7 @@ class PlanSession:
         pool=None,
         start_method: Optional[str] = None,
         timeout: Optional[float] = None,
+        rank_aligned: bool = False,
     ) -> Union[SystemRunResult, ShardedRunResult]:
         """Launch installed function ``name`` over ``inputs``.
 
@@ -134,6 +135,8 @@ class PlanSession:
         ``workers``/``pool`` run the shards on a multiprocess pool
         (:mod:`repro.plan.pool`) with bit-identical results; a pool passed
         in survives the launch and keeps its warm workers.
+        ``rank_aligned`` splits shards along the system topology's rank
+        boundaries (see :func:`~repro.plan.dispatch.execute_sharded`).
         """
         fn = self.runtime[name]
         plan = self.plans.plan(
@@ -144,6 +147,7 @@ class PlanSession:
             name, plan, inputs, shards=shards, overlap=overlap,
             virtual_n=virtual_n, batch=batch, workers=workers, pool=pool,
             start_method=start_method, timeout=timeout,
+            rank_aligned=rank_aligned,
         )
 
     def execute_plan(
@@ -160,6 +164,7 @@ class PlanSession:
         pool=None,
         start_method: Optional[str] = None,
         timeout: Optional[float] = None,
+        rank_aligned: bool = False,
     ) -> Union[SystemRunResult, ShardedRunResult]:
         """Execute an already-compiled plan under this session's accounting.
 
@@ -175,6 +180,7 @@ class PlanSession:
                     plan, inputs, n_shards=shards, overlap=overlap,
                     virtual_n=virtual_n, batch=batch, workers=workers,
                     pool=pool, start_method=start_method, timeout=timeout,
+                    rank_aligned=rank_aligned,
                 )
             else:
                 result = plan.execute(
@@ -213,6 +219,7 @@ class PlanSession:
         pool=None,
         start_method: Optional[str] = None,
         timeout: Optional[float] = None,
+        rank_aligned: bool = False,
     ) -> StreamResult:
         """Run a stream of launches as one interleaved pipeline.
 
@@ -234,8 +241,14 @@ class PlanSession:
             raise SimulationError("cannot pipeline an empty launch stream")
         system = self.runtime.system
         if shards > 1:
-            ranges = shard_ranges(
-                shard_split(shards, system.config.n_dpus, shards))
+            if rank_aligned:
+                # The dispatcher's rank-aligned DPU groups are input-size
+                # independent, so the stream's stage ranges match every
+                # launch's shard ranges exactly.
+                ranges = system.config.topology.split_ranks(shards)
+            else:
+                ranges = shard_ranges(
+                    shard_split(shards, system.config.n_dpus, shards))
         else:
             ranges = [None]  # whole system: every kernel stage conflicts
         stream_pool = pool
@@ -262,6 +275,7 @@ class PlanSession:
                             plan, inputs, n_shards=shards, overlap=False,
                             virtual_n=virtual_n, batch=batch,
                             pool=stream_pool, timeout=timeout,
+                            rank_aligned=rank_aligned,
                         )
                         for k, shard in enumerate(result.shards):
                             r = shard.result

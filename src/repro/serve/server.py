@@ -80,6 +80,10 @@ class ServeConfig:
     shards: int = 1
     #: Compile plans with the fused array evaluator (bit-identical).
     vec: bool = True
+    #: Split sharded dispatches along the system topology's rank
+    #: boundaries (no shard straddles a rank); only meaningful with
+    #: ``shards > 1``.
+    rank_aligned: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -347,7 +351,8 @@ class Server:
         values = plan.values(xs)
         result = self.session.execute_plan(
             lane.label, plan, xs,
-            shards=self.config.shards, batch=True)
+            shards=self.config.shards, batch=True,
+            rank_aligned=self.config.rank_aligned)
         return values, result
 
     # -- lifecycle -----------------------------------------------------

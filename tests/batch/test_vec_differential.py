@@ -202,6 +202,13 @@ def test_evaluator_pickles_without_memo():
     _assert_bits_equal(r.values, ev.run(xs).values, "pickled clone values")
 
 
+def test_mlut_family_uses_fused_kernels():
+    """The M-LUT family dispatches onto its dedicated fused kernels, not
+    the generic per-stage fallback."""
+    assert compile_vec(_get_method("sin", "mlut", False)).mode == "mlut"
+    assert compile_vec(_get_method("sin", "mlut_i", False)).mode == "mlut_i"
+
+
 def test_tally_cache_shared_with_traced_engine():
     """Vec and traced launches share one tally cache without divergence."""
     m = _get_method("sin", "cordic", False)

@@ -1,0 +1,266 @@
+"""Topology model: mapping round-trips, rank structure, config back-compat.
+
+Property-based coverage (hypothesis) for the invariants the whole refactor
+leans on: the flat usable index space and the hierarchical coordinate
+space are bijective (defects and all), rank spans tile the usable space,
+rank-aligned shard splits never straddle a rank, and a bare
+``SystemConfig(n_dpus=...)`` is indistinguishable from the pre-topology
+flat model.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pim.config import SystemConfig
+from repro.pim.topology import PAPER_TOPOLOGY, DPUCoord, Topology
+
+
+@st.composite
+def topologies(draw, max_defects=8):
+    """Small random topologies, optionally with a defect mask."""
+    channels = draw(st.integers(1, 3))
+    dimms = draw(st.integers(1, 3))
+    ranks = draw(st.integers(1, 3))
+    dpr = draw(st.integers(1, 12))
+    physical = channels * dimms * ranks * dpr
+    defects = draw(st.sets(st.integers(0, physical - 1),
+                           max_size=min(physical - 1, max_defects)))
+    return Topology(channels=channels, dimms_per_channel=dimms,
+                    ranks_per_dimm=ranks, dpus_per_rank=dpr,
+                    defective=tuple(defects))
+
+
+class TestPaperTopology:
+    def test_counts_match_section_4_1(self):
+        t = PAPER_TOPOLOGY
+        assert t.n_dpus_physical == 2560
+        assert t.n_dpus == 2545
+        assert len(t.defective) == 15
+        assert t.n_dimms == 20
+        assert t.n_ranks == 40
+        assert t.ranks_per_channel == 20
+
+    def test_default_geometry_is_paper_shape(self):
+        t = Topology()
+        assert (t.channels, t.dimms_per_channel,
+                t.ranks_per_dimm, t.dpus_per_rank) == (2, 10, 2, 64)
+        assert t.defective == ()
+        assert t.n_dpus == 2560
+
+    def test_signature_is_stable_and_defect_sensitive(self):
+        assert Topology().signature() == "2x10x2x64"
+        sig = PAPER_TOPOLOGY.signature()
+        assert sig.startswith("2x10x2x64-d15-")
+        assert sig == PAPER_TOPOLOGY.signature()
+        other = Topology(defective=(0,))
+        assert other.signature() != sig
+
+    def test_describe_reports_key_facts(self):
+        text = PAPER_TOPOLOGY.describe()
+        for needle in ("2545", "2560", "per-channel", "signature"):
+            assert needle in text
+
+    def test_pickle_round_trip(self):
+        clone = pickle.loads(pickle.dumps(PAPER_TOPOLOGY))
+        assert clone == PAPER_TOPOLOGY
+        assert clone.signature() == PAPER_TOPOLOGY.signature()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Topology(channels=0)
+        with pytest.raises(ConfigurationError):
+            Topology(channels=1, dimms_per_channel=1, ranks_per_dimm=1,
+                     dpus_per_rank=2, defective=(5,))
+        with pytest.raises(ConfigurationError):
+            Topology(channels=1, dimms_per_channel=1, ranks_per_dimm=1,
+                     dpus_per_rank=2, defective=(0, 1))
+
+
+class TestMappingRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(t=topologies(), data=st.data())
+    def test_usable_coord_round_trip(self, t, data):
+        """usable -> coord -> usable is the identity, defects included."""
+        i = data.draw(st.integers(0, t.n_dpus - 1))
+        coord = t.coord_of(i)
+        assert t.usable_index(coord) == i
+        phys = t.physical_of_coord(coord)
+        assert phys not in t.defective
+        assert t.usable_of_physical(phys) == i
+
+    @settings(max_examples=40, deadline=None)
+    @given(t=topologies())
+    def test_usable_order_is_physical_order(self, t):
+        """physical_of_usable is strictly increasing and skips defects."""
+        phys = [t.physical_of_usable(i) for i in range(t.n_dpus)]
+        assert phys == sorted(phys)
+        assert len(set(phys)) == t.n_dpus
+        assert not set(phys) & set(t.defective)
+
+    @settings(max_examples=40, deadline=None)
+    @given(t=topologies())
+    def test_defective_slots_have_no_usable_index(self, t):
+        for d in t.defective:
+            with pytest.raises(ConfigurationError):
+                t.usable_of_physical(d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(t=topologies(), data=st.data())
+    def test_coord_of_physical_round_trip(self, t, data):
+        p = data.draw(st.integers(0, t.n_dpus_physical - 1))
+        assert t.physical_of_coord(t.coord_of_physical(p)) == p
+
+    def test_out_of_range_rejected(self):
+        t = PAPER_TOPOLOGY
+        for bad in (-1, t.n_dpus):
+            with pytest.raises(ConfigurationError):
+                t.physical_of_usable(bad)
+        with pytest.raises(ConfigurationError):
+            t.physical_of_coord(DPUCoord(2, 0, 0, 0))
+
+
+class TestRankStructure:
+    @settings(max_examples=60, deadline=None)
+    @given(t=topologies())
+    def test_rank_spans_tile_usable_space(self, t):
+        spans = t.rank_spans()
+        assert len(spans) == t.n_ranks
+        cursor = 0
+        for lo, hi in spans:
+            assert lo == cursor and hi >= lo
+            cursor = hi
+        assert cursor == t.n_dpus
+
+    @settings(max_examples=60, deadline=None)
+    @given(t=topologies(), data=st.data())
+    def test_rank_of_usable_matches_span(self, t, data):
+        i = data.draw(st.integers(0, t.n_dpus - 1))
+        r = t.rank_of_usable(i)
+        lo, hi = t.rank_spans()[r]
+        assert lo <= i < hi
+        assert t.coord_of(i).channel == t.channel_of_rank(r)
+
+    @settings(max_examples=60, deadline=None)
+    @given(t=topologies(), data=st.data())
+    def test_split_ranks_is_rank_aligned_and_tiles(self, t, data):
+        """Every shard range starts/ends on a rank boundary; ranges are
+        consecutive and cover ``[0, n_dpus)`` exactly."""
+        non_empty = [s for s in t.rank_spans() if s[1] > s[0]]
+        n_shards = data.draw(st.integers(1, len(non_empty)))
+        ranges = t.split_ranks(n_shards)
+        boundaries = {s[0] for s in non_empty} | {s[1] for s in non_empty}
+        cursor = 0
+        for lo, hi in ranges:
+            assert lo == cursor and hi > lo
+            assert lo in boundaries or lo == 0
+            assert hi in boundaries
+            # No shard straddles a rank partially: the range's endpoints
+            # coincide with whole-rank span endpoints.
+            cursor = hi
+        assert cursor == t.n_dpus
+        # Remainder ranks go to the lowest-indexed shards.
+        per_shard = [sum(1 for s in non_empty if lo <= s[0] < hi)
+                     for lo, hi in ranges]
+        assert per_shard == sorted(per_shard, reverse=True)
+        assert sum(per_shard) == len(non_empty)
+
+    def test_split_ranks_validation(self):
+        t = Topology(channels=1, dimms_per_channel=1, ranks_per_dimm=2,
+                     dpus_per_rank=4)
+        with pytest.raises(SimulationError):
+            t.split_ranks(0)
+        with pytest.raises(SimulationError):
+            t.split_ranks(3)  # only 2 ranks
+
+    def test_ranks_in_range_counts_touched_ranks(self):
+        t = Topology(channels=1, dimms_per_channel=2, ranks_per_dimm=2,
+                     dpus_per_rank=4)
+        assert t.ranks_in_range(0, 4) == 1
+        assert t.ranks_in_range(0, 5) == 2
+        assert t.ranks_in_range(3, 9) == 3
+        assert t.ranks_in_range(2, 2) == 0
+
+    def test_paper_split_matches_known_values(self):
+        assert PAPER_TOPOLOGY.split_ranks(4) == [
+            (0, 636), (636, 1272), (1272, 1908), (1908, 2545)]
+
+
+class TestSubrange:
+    @settings(max_examples=60, deadline=None)
+    @given(t=topologies(), data=st.data())
+    def test_subrange_preserves_count_and_rank_structure(self, t, data):
+        start = data.draw(st.integers(0, t.n_dpus - 1))
+        stop = data.draw(st.integers(start + 1, t.n_dpus))
+        sub = t.subrange(start, stop)
+        assert sub.n_dpus == stop - start
+        assert sub.n_ranks == t.ranks_in_range(start, stop)
+
+    def test_take_is_prefix_subrange(self):
+        t = PAPER_TOPOLOGY
+        assert t.take(64) == t.subrange(0, 64)
+        assert t.take(64).n_dpus == 64
+
+    def test_subrange_validation(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_TOPOLOGY.subrange(10, 10)
+        with pytest.raises(ConfigurationError):
+            PAPER_TOPOLOGY.subrange(0, 2546)
+
+
+class TestSystemConfigBackCompat:
+    def test_default_config_is_paper_topology(self):
+        cfg = SystemConfig()
+        assert cfg.topology == PAPER_TOPOLOGY
+        assert cfg.n_dpus == 2545
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 4096))
+    def test_bare_n_dpus_synthesizes_single_rank(self, n):
+        """``SystemConfig(n_dpus=n)`` behaves exactly like the flat
+        pre-topology model: one rank, no defects, same count."""
+        cfg = SystemConfig(n_dpus=n)
+        assert cfg.n_dpus == n
+        assert cfg.topology == Topology.single_rank(n)
+        assert cfg.topology.n_ranks == 1
+        # Balanced transfers never consulted the topology before the
+        # refactor; they must not now.
+        flat = SystemConfig(n_dpus=n, topology=None)
+        for nbytes in (0, 1, 4096, 10**7):
+            assert cfg.host_to_pim_seconds(nbytes) == \
+                flat.host_to_pim_seconds(nbytes)
+            assert cfg.pim_to_host_seconds(nbytes) == \
+                flat.pim_to_host_seconds(nbytes)
+
+    def test_n_dpus_under_topology_takes_prefix(self):
+        cfg = SystemConfig(n_dpus=128, topology=PAPER_TOPOLOGY)
+        assert cfg.n_dpus == 128
+        assert cfg.topology == PAPER_TOPOLOGY.take(128)
+
+    def test_n_dpus_over_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_dpus=4096, topology=PAPER_TOPOLOGY)
+
+    def test_subrange_slices_both_fields(self):
+        cfg = SystemConfig()
+        sub = cfg.subrange(64, 192)
+        assert sub.n_dpus == 128
+        assert sub.topology == PAPER_TOPOLOGY.subrange(64, 192)
+        # Non-sliced fields carry over.
+        assert sub.host_to_pim_bw == cfg.host_to_pim_bw
+
+    def test_unbalanced_rank_fanout_divides_serialization(self):
+        cfg = SystemConfig()
+        serial = cfg.host_to_pim_seconds(10**6, balanced=False)
+        fanned = cfg.host_to_pim_seconds(10**6, balanced=False, ranks=8)
+        assert fanned == serial / 8
+        assert cfg.host_to_pim_seconds(10**6, balanced=False, ranks=1) \
+            == serial
+        # Balanced transfers ignore the fan-out entirely.
+        assert cfg.host_to_pim_seconds(10**6, balanced=True, ranks=8) \
+            == cfg.host_to_pim_seconds(10**6)
+        assert cfg.pim_to_host_seconds(10**6, balanced=False, ranks=4) \
+            == cfg.pim_to_host_seconds(10**6, balanced=False) / 4

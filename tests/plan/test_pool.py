@@ -314,3 +314,87 @@ class TestFaultInjection:
 def test_pool_rejects_bad_workers():
     with pytest.raises(ConfigurationError):
         ShardPool(0)
+
+
+class TestTopologyPlacement:
+    """NUMA-aware pool construction: per-channel worker groups, channel
+    affinity routing, and best-effort CPU pinning."""
+
+    def test_workers_default_one_per_channel(self):
+        from repro.pim.topology import PAPER_TOPOLOGY
+        pool = ShardPool(start_method="fork", topology=PAPER_TOPOLOGY)
+        try:
+            assert pool.workers == PAPER_TOPOLOGY.channels == 2
+            assert len(pool._executors) == 2
+        finally:
+            pool.close()
+
+    def test_workers_required_without_topology(self):
+        with pytest.raises(ConfigurationError):
+            ShardPool()
+
+    def test_single_group_without_topology(self):
+        pool = ShardPool(4, start_method="fork")
+        try:
+            assert len(pool._executors) == 1
+        finally:
+            pool.close()
+
+    def test_groups_capped_by_workers(self):
+        from repro.pim.topology import PAPER_TOPOLOGY
+        pool = ShardPool(1, start_method="fork", topology=PAPER_TOPOLOGY)
+        try:
+            assert len(pool._executors) == 1
+        finally:
+            pool.close()
+
+    def test_pinned_dispatch_is_bit_identical_and_counted(self):
+        """Pinning is placement-only: results match the unpinned pool
+        bit for bit, and every task is counted as pinned."""
+        from repro.pim.config import SystemConfig
+        from repro.pim.system import PIMSystem
+        from repro.plan.plan import compile_plan
+
+        topo_system = PIMSystem(SystemConfig())
+        m = make_method("sin", "llut_i", assume_in_range=False)
+        plan = compile_plan(topo_system, m, sample_size=48)
+        xs = _inputs_for("sin", 1200)
+        baseline = execute_sharded(plan, xs, n_shards=2, rank_aligned=True)
+        pool = ShardPool(2, start_method="fork", timeout=120.0,
+                         topology=topo_system.config.topology, pin=True)
+        try:
+            with collecting() as reg:
+                pinned = execute_sharded(plan, xs, n_shards=2,
+                                         rank_aligned=True, pool=pool)
+        finally:
+            pool.close()
+        assert reg.value("dispatch.pool.pinned") == 2
+        assert pinned.total_seconds == baseline.total_seconds
+        for sa, sb in zip(baseline.shards, pinned.shards):
+            assert sa.result.total_seconds == sb.result.total_seconds
+
+    def test_pinned_shard_spans_carry_placement_attrs(self):
+        from repro.pim.config import SystemConfig
+        from repro.pim.system import PIMSystem
+        from repro.plan.plan import compile_plan
+
+        topo_system = PIMSystem(SystemConfig())
+        m = make_method("sin", "llut_i", assume_in_range=False)
+        plan = compile_plan(topo_system, m, sample_size=48)
+        xs = _inputs_for("sin", 1200)
+        topo = topo_system.config.topology
+        pool = ShardPool(2, start_method="fork", timeout=120.0,
+                         topology=topo, pin=True)
+        tracer = Tracer()
+        try:
+            with tracing(tracer):
+                execute_sharded(plan, xs, n_shards=2, rank_aligned=True,
+                                pool=pool)
+        finally:
+            pool.close()
+        dsp = tracer.find("dispatch.run")
+        shard_spans = [c for c in dsp.children if c.name == "shard"]
+        spans = topo.split_ranks(2)
+        assert [s.attrs["channel"] for s in shard_spans] == \
+            [topo.channel_of_range(lo, hi) for lo, hi in spans]
+        assert all(s.attrs["pinned"] is True for s in shard_spans)

@@ -168,3 +168,39 @@ class TestLint:
         sub = next(a for a in parser._actions
                    if hasattr(a, "choices") and a.choices)
         assert "lint" in sub.choices
+
+
+class TestTopologyCommands:
+    def test_topology_prints_paper_system(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "2545" in out and "2560" in out
+        assert "per-channel" in out
+        assert "2x10x2x64-d15-" in out
+
+    def test_topology_overrides(self, capsys):
+        assert main(["topology", "--channels", "2", "--dimms", "2",
+                     "--ranks", "2", "--dpus-per-rank", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2x2x2x8" in out
+        assert "64" in out  # usable DPUs
+
+    def test_plan_with_topology_override(self, capsys):
+        assert main(["plan", "sin", "llut_i", "density_log2=10",
+                     "--dimms", "1", "--ranks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "topology" in out
+        assert "2x1x1x64" in out
+
+    def test_run_rank_aligned(self, capsys):
+        assert main(["run", "sin", "llut_i", "density_log2=10",
+                     "--n", "4096", "--shards", "2", "--rank-aligned",
+                     "--dimms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rank-aligned" in out
+
+    def test_topology_registered_in_parser(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert "topology" in sub.choices
